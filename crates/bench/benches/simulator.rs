@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the state-vector simulator: the inner
+//! loop of dataset labeling. One QAOA objective evaluation is a diagonal
+//! phase pass plus an RX layer per depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
+use qsim::diagonal::DiagonalOperator;
+use qsim::{gates, StateVector};
+
+fn bench_hadamard_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h_all");
+    for qubits in [8usize, 12, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, &n| {
+            b.iter(|| {
+                let mut psi = StateVector::zero_state(n);
+                gates::h_all(&mut psi);
+                psi.amplitude(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_diagonal_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagonal_phase");
+    for qubits in [8usize, 12, 15] {
+        let op = DiagonalOperator::from_fn(qubits, |z| z.count_ones() as f64);
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, &n| {
+            let mut psi = StateVector::uniform_superposition(n);
+            b.iter(|| {
+                op.apply_phase(&mut psi, 0.137);
+                psi.amplitude(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qaoa_expectation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("qaoa_expectation_p1");
+    for nodes in [8usize, 12, 15] {
+        let graph = qgraph::generate::random_regular(nodes, 3, &mut rng)
+            .expect("feasible shape");
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&graph));
+        let params = Params::new(vec![0.7], vec![0.3]);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| circuit.expectation(&params));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qaoa_depth_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let graph = qgraph::generate::random_regular(12, 3, &mut rng).expect("feasible shape");
+    let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&graph));
+    let mut group = c.benchmark_group("qaoa_expectation_depth");
+    for depth in [1usize, 2, 4, 8] {
+        let params = Params::new(vec![0.5; depth], vec![0.2; depth]);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| circuit.expectation(&params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hadamard_layer,
+    bench_diagonal_phase,
+    bench_qaoa_expectation,
+    bench_qaoa_depth_scaling
+);
+criterion_main!(benches);

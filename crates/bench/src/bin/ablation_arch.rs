@@ -1,0 +1,86 @@
+//! §4.1 ablation: sensitivity to GNN depth and embedding width.
+//!
+//! The paper fixes 2 layers and embedding 32; this sweep shows how the
+//! choice affects test regression error and downstream AR improvement for
+//! the best-performing architecture (GIN).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gnn::{GnnKind, ModelConfig};
+use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
+use qaoa_gnn::Dataset;
+use qaoa_gnn_bench::{f2, f4, print_table, write_csv};
+
+fn main() {
+    let base = PipelineConfig::from_env();
+    println!("labeling {} graphs once...", base.dataset.count);
+    let dataset = Dataset::generate(&base.dataset, &base.labeling, base.seed)
+        .expect("default dataset spec is valid");
+
+    let mut rows = Vec::new();
+    for layers in [1usize, 2, 3] {
+        for hidden in [16usize, 32, 64] {
+            let config = PipelineConfig {
+                model: ModelConfig {
+                    layers,
+                    hidden_dim: hidden,
+                    ..ModelConfig::default()
+                },
+                ..base.clone()
+            };
+            let mut rng = StdRng::seed_from_u64(base.seed ^ 0xa6c4);
+            let p = Pipeline::run_on_dataset(GnnKind::Gin, dataset.clone(), &config, &mut rng);
+            rows.push(vec![
+                layers.to_string(),
+                hidden.to_string(),
+                p.model.num_parameters().to_string(),
+                f4(p.history.final_loss().unwrap_or(f64::NAN)),
+                f4(p.test_mse),
+                f2(p.report.mean_improvement),
+                f2(p.report.std_improvement),
+            ]);
+            println!(
+                "layers {layers} hidden {hidden}: improvement {} pts",
+                f2(p.report.mean_improvement)
+            );
+        }
+    }
+    let header = [
+        "layers",
+        "hidden_dim",
+        "parameters",
+        "train_loss",
+        "test_mse",
+        "improvement_pts",
+        "improvement_std",
+    ];
+    print_table("Architecture ablation (GIN)", &header, &rows);
+    let path = write_csv("ablation_arch.csv", &header, &rows).expect("write csv");
+    println!("wrote {}", path.display());
+
+    // Readout sweep (Eq. 9 leaves READOUT open; the paper uses mean).
+    let mut rows = Vec::new();
+    for readout in [gnn::Readout::Mean, gnn::Readout::Sum, gnn::Readout::Max] {
+        let config = PipelineConfig {
+            model: ModelConfig {
+                readout,
+                ..ModelConfig::default()
+            },
+            ..base.clone()
+        };
+        let mut rng = StdRng::seed_from_u64(base.seed ^ 0xa6c4);
+        let p = Pipeline::run_on_dataset(GnnKind::Gin, dataset.clone(), &config, &mut rng);
+        rows.push(vec![
+            format!("{readout:?}"),
+            f4(p.test_mse),
+            f2(p.report.mean_improvement),
+            f2(p.report.std_improvement),
+            f2(p.report.win_rate() * 100.0),
+        ]);
+    }
+    let header = ["readout", "test_mse", "improvement_pts", "std", "win_rate_%"];
+    print_table("Readout ablation (GIN)", &header, &rows);
+    let path = write_csv("ablation_readout.csv", &header, &rows).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,43 @@
+//! Figure 3: possible approximation ratio by graph size.
+//!
+//! Labels the dataset with random-initialization QAOA (§3.1) and summarizes
+//! the achieved AR per graph size — the data-quality picture motivating
+//! Selective Data Pruning.
+
+use qaoa_gnn::dataset::Dataset;
+use qaoa_gnn::pipeline::PipelineConfig;
+use qaoa_gnn_bench::{f4, print_table, write_csv};
+use qgraph::stats::grouped_summary;
+
+fn main() {
+    let config = PipelineConfig::from_env();
+    println!(
+        "labeling {} graphs with {} optimizer iterations each...",
+        config.dataset.count, config.labeling.iterations
+    );
+    let dataset = Dataset::generate(&config.dataset, &config.labeling, config.seed)
+        .expect("default dataset spec is valid");
+
+    let summary = grouped_summary(&dataset.ar_by_size());
+    let rows: Vec<Vec<String>> = summary
+        .iter()
+        .map(|s| {
+            vec![
+                s.key.to_string(),
+                s.count.to_string(),
+                f4(s.min),
+                f4(s.mean),
+                f4(s.max),
+                f4(s.std),
+            ]
+        })
+        .collect();
+    let header = ["nodes", "count", "ar_min", "ar_mean", "ar_max", "ar_std"];
+    print_table("Figure 3: possible AR by graph size", &header, &rows);
+    let path = write_csv("fig3_ar_by_size.csv", &header, &rows).expect("write csv");
+    println!("wrote {}", path.display());
+    println!(
+        "overall mean AR: {:.4} (the paper observes many groups near 0.5)",
+        dataset.mean_approx_ratio()
+    );
+}

@@ -1,0 +1,123 @@
+//! # qaoa-gnn-bench — the experiment harness
+//!
+//! One binary per paper artifact (see `src/bin/`), plus Criterion
+//! micro-benchmarks (see `benches/`). Every binary prints a human-readable
+//! table to stdout and writes a CSV under `target/experiments/` so the
+//! numbers in EXPERIMENTS.md can be regenerated.
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig2_distributions` | Fig. 2a/2b dataset histograms |
+//! | `fig3_ar_by_size` | Fig. 3 possible AR by graph size |
+//! | `fig4_ar_by_degree` | Fig. 4 possible AR by degree |
+//! | `fig5_table1` | Fig. 5 per-graph AR series + Table 1 improvements |
+//! | `ablation_sdp` | §3.3 SDP threshold / selective-rate sweep |
+//! | `ablation_fixed_angle` | §3.3 fixed-angle label-quality study |
+//! | `ablation_arch` | §4.1 architecture hyper-parameter sweep |
+//!
+//! All binaries honor `QAOA_GNN_FULL=1` for paper-scale runs and default to
+//! a CI-sized configuration (see
+//! [`qaoa_gnn::pipeline::PipelineConfig::from_env`]).
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (`target/experiments/`),
+/// created on first use.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn experiments_dir() -> io::Result<PathBuf> {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace target dir is two up.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Writes a CSV file into [`experiments_dir`] and returns its path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let path = experiments_dir()?.join(name);
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with 4 decimal places (the tables' standard precision).
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a float with 2 decimal places (Table 1 precision).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_dir_is_created() {
+        let dir = experiments_dir().unwrap();
+        assert!(dir.is_dir());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let path = write_csv(
+            "unit_test.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(1.0 / 3.0), "0.3333");
+        assert_eq!(f2(3.275), "3.27");
+    }
+}

@@ -1,0 +1,307 @@
+//! Dataset generation and QAOA labeling (§3.1).
+//!
+//! "We generate synthetic regular graphs comprising 9598 instances and
+//! simulate the parameters γ and β for the QAOA algorithm. ... The
+//! algorithm starts with randomly initialized values of γ and β, and then
+//! undergoes a process of optimization over 500 iterations. ... It also
+//! provides an approximation ratio (AR) for these solutions compared to the
+//! optimal solutions derived from a brute-force search approach."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use qaoa::optimize::NelderMead;
+use qaoa::warm_start::{self, InitStrategy};
+use qaoa::{MaxCutHamiltonian, Params};
+use qgraph::generate::DatasetSpec;
+use qgraph::Graph;
+
+/// One labeled instance: a graph plus the QAOA outcome that labels it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledGraph {
+    /// The problem instance.
+    pub graph: Graph,
+    /// The optimized parameters — the GNN's regression target.
+    pub params: Params,
+    /// Expectation `⟨C⟩` at [`Self::params`].
+    pub expectation: f64,
+    /// Brute-force optimal cut value.
+    pub optimal: f64,
+    /// `expectation / optimal` — the label quality the SDP filter reads.
+    pub approx_ratio: f64,
+}
+
+/// A labeled dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The labeled instances.
+    pub entries: Vec<LabeledGraph>,
+}
+
+/// Labeling configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelConfig {
+    /// QAOA depth `p` (the paper predicts one `(γ, β)` pair: p = 1).
+    pub depth: usize,
+    /// Optimizer iteration budget per graph (paper: 500).
+    pub iterations: usize,
+    /// Worker threads for parallel labeling.
+    pub threads: usize,
+}
+
+impl Default for LabelConfig {
+    fn default() -> Self {
+        LabelConfig {
+            depth: 1,
+            iterations: 500,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl LabelConfig {
+    /// A scaled-down configuration for tests and CI-sized benches.
+    pub fn quick(iterations: usize) -> Self {
+        LabelConfig {
+            iterations,
+            ..LabelConfig::default()
+        }
+    }
+}
+
+/// Labels one graph: random init, `iterations` of Nelder–Mead, AR against
+/// brute force — exactly the paper's §3.1 recipe.
+pub fn label_graph<R: Rng + ?Sized>(
+    graph: &Graph,
+    config: &LabelConfig,
+    rng: &mut R,
+) -> LabeledGraph {
+    let hamiltonian = MaxCutHamiltonian::new(graph);
+    let optimizer = NelderMead::new(config.iterations);
+    let outcome = warm_start::run(
+        &hamiltonian,
+        Params::random(config.depth, rng),
+        InitStrategy::Random,
+        &optimizer,
+        rng,
+    );
+    LabeledGraph {
+        graph: graph.clone(),
+        params: outcome.final_params,
+        expectation: outcome.final_expectation,
+        optimal: hamiltonian.optimal_value(),
+        approx_ratio: outcome.final_ratio,
+    }
+}
+
+impl Dataset {
+    /// Labels a batch of graphs in parallel (deterministic: worker `i` uses
+    /// `seed + i`, and results keep input order).
+    pub fn label_graphs(graphs: &[Graph], config: &LabelConfig, seed: u64) -> Dataset {
+        let threads = config.threads.max(1).min(graphs.len().max(1));
+        let mut entries: Vec<Option<LabeledGraph>> = vec![None; graphs.len()];
+        let chunk = graphs.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, (graph_chunk, out_chunk)) in graphs
+                .chunks(chunk)
+                .zip(entries.chunks_mut(chunk))
+                .enumerate()
+            {
+                let config = config.clone();
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+                    for (graph, out) in graph_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = Some(label_graph(graph, &config, &mut rng));
+                    }
+                });
+            }
+        })
+        .expect("labeling worker panicked");
+        Dataset {
+            entries: entries
+                .into_iter()
+                .map(|e| e.expect("every slot labeled"))
+                .collect(),
+        }
+    }
+
+    /// Generates `spec.count` graphs and labels them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors from an invalid `spec`.
+    pub fn generate(
+        spec: &DatasetSpec,
+        config: &LabelConfig,
+        seed: u64,
+    ) -> Result<Dataset, qgraph::GraphError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graphs = spec.generate(&mut rng)?;
+        Ok(Self::label_graphs(&graphs, config, seed ^ 0x9e37_79b9))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the dataset has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mean approximation ratio over the dataset (label quality, Figs. 3–4).
+    pub fn mean_approx_ratio(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.approx_ratio).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// `(graph size, AR)` observations for Figure 3.
+    pub fn ar_by_size(&self) -> Vec<(usize, f64)> {
+        self.entries
+            .iter()
+            .map(|e| (e.graph.n(), e.approx_ratio))
+            .collect()
+    }
+
+    /// `(degree, AR)` observations for Figure 4 (regular graphs report their
+    /// degree; irregular graphs report their maximum degree).
+    pub fn ar_by_degree(&self) -> Vec<(usize, f64)> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let d = e.graph.regular_degree().unwrap_or(e.graph.max_degree());
+                (d, e.approx_ratio)
+            })
+            .collect()
+    }
+
+    /// Splits into `(train, test)` with `test_size` entries held out from the
+    /// end after a seeded shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_size >= len`.
+    pub fn split(&self, test_size: usize, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            test_size < self.len(),
+            "test size {test_size} must be below dataset size {}",
+            self.len()
+        );
+        use rand::seq::SliceRandom;
+        let mut entries = self.entries.clone();
+        entries.shuffle(&mut StdRng::seed_from_u64(seed));
+        let train = entries[..entries.len() - test_size].to_vec();
+        let test = entries[entries.len() - test_size..].to_vec();
+        (Dataset { entries: train }, Dataset { entries: test })
+    }
+}
+
+impl FromIterator<LabeledGraph> for Dataset {
+    fn from_iter<I: IntoIterator<Item = LabeledGraph>>(iter: I) -> Self {
+        Dataset {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> LabelConfig {
+        LabelConfig::quick(40)
+    }
+
+    #[test]
+    fn label_graph_produces_valid_record() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let g = Graph::cycle(6).unwrap();
+        let l = label_graph(&g, &quick_config(), &mut rng);
+        assert_eq!(l.optimal, 6.0);
+        assert!(l.approx_ratio > 0.5, "optimized AR {} too low", l.approx_ratio);
+        assert!(l.approx_ratio <= 1.0 + 1e-9);
+        assert!((l.expectation / l.optimal - l.approx_ratio).abs() < 1e-12);
+        assert_eq!(l.params.depth(), 1);
+    }
+
+    #[test]
+    fn parallel_labeling_keeps_order_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let graphs: Vec<Graph> = (4..10)
+            .map(|n| qgraph::generate::erdos_renyi(n, 0.5, &mut rng).unwrap())
+            .collect();
+        let a = Dataset::label_graphs(&graphs, &quick_config(), 7);
+        let b = Dataset::label_graphs(&graphs, &quick_config(), 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), graphs.len());
+        for (entry, graph) in a.entries.iter().zip(&graphs) {
+            assert_eq!(&entry.graph, graph);
+        }
+    }
+
+    #[test]
+    fn generate_respects_spec() {
+        let spec = DatasetSpec::with_count(12);
+        let ds = Dataset::generate(&spec, &quick_config(), 3).unwrap();
+        assert_eq!(ds.len(), 12);
+        assert!(ds.mean_approx_ratio() > 0.5);
+        for e in &ds.entries {
+            assert!(e.graph.n() >= 2 && e.graph.n() <= 15);
+        }
+    }
+
+    #[test]
+    fn figure_observations_cover_every_entry() {
+        let spec = DatasetSpec::with_count(8);
+        let ds = Dataset::generate(&spec, &quick_config(), 4).unwrap();
+        assert_eq!(ds.ar_by_size().len(), 8);
+        assert_eq!(ds.ar_by_degree().len(), 8);
+        for &(k, ar) in ds.ar_by_size().iter().chain(ds.ar_by_degree().iter()) {
+            assert!((1..=15).contains(&k));
+            assert!((0.0..=1.0 + 1e-9).contains(&ar));
+        }
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let spec = DatasetSpec::with_count(10);
+        let ds = Dataset::generate(&spec, &quick_config(), 5).unwrap();
+        let (train, test) = ds.split(3, 99);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        // Same multiset of optima (cheap proxy for completeness).
+        let mut all: Vec<u64> = train
+            .entries
+            .iter()
+            .chain(&test.entries)
+            .map(|e| e.optimal.to_bits())
+            .collect();
+        let mut orig: Vec<u64> = ds.entries.iter().map(|e| e.optimal.to_bits()).collect();
+        all.sort_unstable();
+        orig.sort_unstable();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "test size")]
+    fn split_rejects_oversized_test() {
+        let spec = DatasetSpec::with_count(5);
+        let ds = Dataset::generate(&spec, &quick_config(), 6).unwrap();
+        let _ = ds.split(5, 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let mut rng = StdRng::seed_from_u64(113);
+        let g = Graph::complete(3).unwrap();
+        let ds: Dataset = (0..3).map(|_| label_graph(&g, &quick_config(), &mut rng)).collect();
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Dataset persistence.
+//!
+//! §3.1: "Each graph is stored in a text file... The final output is an
+//! organized list comprising the graph structures along with important
+//! metadata like approximate ratio and values for the best cuts." This
+//! module mirrors that layout: one `graph_<i>.txt` per instance (the
+//! [`qgraph::io`] format) plus a `labels.tsv` index holding the QAOA
+//! metadata, so a labeled dataset survives between runs — full-scale
+//! labeling is by far the most expensive pipeline stage.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use qaoa::Params;
+
+use crate::dataset::{Dataset, LabeledGraph};
+
+/// Name of the index file inside a dataset directory.
+pub const INDEX_FILE: &str = "labels.tsv";
+
+fn graph_file_name(index: usize) -> String {
+    format!("graph_{index:05}.txt")
+}
+
+/// Writes a dataset into `dir` (created if missing): one graph text file
+/// per entry plus a `labels.tsv` index.
+///
+/// # Errors
+///
+/// Propagates filesystem errors. Existing files are overwritten.
+pub fn save_dataset<P: AsRef<Path>>(dataset: &Dataset, dir: P) -> io::Result<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut index = String::from("file\tdepth\tgammas\tbetas\texpectation\toptimal\tapprox_ratio\n");
+    for (i, entry) in dataset.entries.iter().enumerate() {
+        let name = graph_file_name(i);
+        qgraph::io::write_graph(&entry.graph, dir.join(&name))?;
+        let join = |xs: &[f64]| {
+            xs.iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        index.push_str(&format!(
+            "{name}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            entry.params.depth(),
+            join(entry.params.gammas()),
+            join(entry.params.betas()),
+            entry.expectation,
+            entry.optimal,
+            entry.approx_ratio,
+        ));
+    }
+    fs::write(dir.join(INDEX_FILE), index)
+}
+
+fn invalid<E: std::fmt::Display>(line: usize, message: E) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("labels.tsv line {line}: {message}"),
+    )
+}
+
+/// Loads a dataset previously written by [`save_dataset`].
+///
+/// # Errors
+///
+/// Returns filesystem errors as-is and malformed index/graph files as
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_dataset<P: AsRef<Path>>(dir: P) -> io::Result<Dataset> {
+    let dir = dir.as_ref();
+    let index = fs::read_to_string(dir.join(INDEX_FILE))?;
+    let mut entries = Vec::new();
+    for (i, line) in index.lines().enumerate().skip(1) {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 7 {
+            return Err(invalid(lineno, format!("expected 7 fields, got {}", fields.len())));
+        }
+        let graph = qgraph::io::read_graph(dir.join(fields[0]))?;
+        let parse_f64 = |s: &str| s.parse::<f64>().map_err(|e| invalid(lineno, e));
+        let parse_vec = |s: &str| -> io::Result<Vec<f64>> {
+            s.split(',').map(parse_f64).collect()
+        };
+        let depth: usize = fields[1].parse().map_err(|e| invalid(lineno, e))?;
+        let gammas = parse_vec(fields[2])?;
+        let betas = parse_vec(fields[3])?;
+        if gammas.len() != depth || betas.len() != depth {
+            return Err(invalid(lineno, "angle count does not match depth"));
+        }
+        entries.push(LabeledGraph {
+            graph,
+            params: Params::new(gammas, betas),
+            expectation: parse_f64(fields[4])?,
+            optimal: parse_f64(fields[5])?,
+            approx_ratio: parse_f64(fields[6])?,
+        });
+    }
+    Ok(Dataset { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabelConfig;
+    use qgraph::generate::DatasetSpec;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qaoa_gnn_store_tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dataset = Dataset::generate(
+            &DatasetSpec::with_count(6),
+            &LabelConfig::quick(30),
+            17,
+        )
+        .unwrap();
+        let dir = temp_dir("round_trip");
+        save_dataset(&dataset, &dir).unwrap();
+        let back = load_dataset(&dir).unwrap();
+        assert_eq!(dataset, back);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_layout_matches_paper_description() {
+        let dataset = Dataset::generate(
+            &DatasetSpec::with_count(3),
+            &LabelConfig::quick(20),
+            18,
+        )
+        .unwrap();
+        let dir = temp_dir("layout");
+        save_dataset(&dataset, &dir).unwrap();
+        assert!(dir.join("graph_00000.txt").is_file());
+        assert!(dir.join("graph_00002.txt").is_file());
+        assert!(dir.join(INDEX_FILE).is_file());
+        let index = fs::read_to_string(dir.join(INDEX_FILE)).unwrap();
+        assert!(index.starts_with("file\tdepth"));
+        assert_eq!(index.lines().count(), 4); // header + 3 rows
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_is_io_error() {
+        assert!(load_dataset("/definitely/not/a/dataset").is_err());
+    }
+
+    #[test]
+    fn load_rejects_malformed_index() {
+        let dir = temp_dir("malformed");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(INDEX_FILE), "file\tdepth\nonly_two\tfields\n").unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_depth_mismatch() {
+        let dir = temp_dir("depth_mismatch");
+        fs::create_dir_all(&dir).unwrap();
+        let g = qgraph::Graph::cycle(3).unwrap();
+        qgraph::io::write_graph(&g, dir.join("graph_00000.txt")).unwrap();
+        fs::write(
+            dir.join(INDEX_FILE),
+            "file\tdepth\tgammas\tbetas\texpectation\toptimal\tapprox_ratio\n\
+             graph_00000.txt\t2\t0.5\t0.2\t1.0\t2.0\t0.5\n",
+        )
+        .unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        assert!(err.to_string().contains("does not match depth"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

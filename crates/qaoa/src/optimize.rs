@@ -1,0 +1,703 @@
+//! Classical outer-loop optimizers for the QAOA objective.
+//!
+//! The paper's labeling loop "starts with randomly initialized values of γ
+//! and β, and then undergoes a process of optimization over 500 iterations"
+//! (§3.1). Every optimizer here maximizes a black-box objective
+//! `f: R^k → R` under a fixed evaluation budget and records the best value
+//! after each iteration, which is what the warm-start comparisons plot.
+//!
+//! * [`NelderMead`] — derivative-free simplex search; the default labeler.
+//! * [`Spsa`] — simultaneous-perturbation stochastic approximation, the
+//!   optimizer commonly used on real NISQ hardware (two evaluations per
+//!   iteration regardless of dimension).
+//! * [`FiniteDiffAdam`] — central-difference gradients fed into Adam.
+//! * [`GridSearch`] — exhaustive p=1 baseline over the periodic domain.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResult {
+    /// Best parameter vector found.
+    pub best_point: Vec<f64>,
+    /// Objective value at [`Self::best_point`].
+    pub best_value: f64,
+    /// Best-so-far objective value after each iteration (monotone
+    /// non-decreasing). Length equals the number of iterations performed.
+    pub history: Vec<f64>,
+    /// Total number of objective evaluations used.
+    pub evaluations: usize,
+}
+
+impl OptimizationResult {
+    /// Number of iterations needed to first reach
+    /// `fraction * best_value` (counting from 1), or `None` if the history
+    /// is empty. Used for the convergence-speed comparisons.
+    pub fn iterations_to_fraction(&self, fraction: f64) -> Option<usize> {
+        let target = self.best_value * fraction;
+        self.history
+            .iter()
+            .position(|&v| v >= target)
+            .map(|i| i + 1)
+    }
+}
+
+/// A maximizer of black-box objectives under an iteration budget.
+///
+/// Implementations are deterministic given the supplied RNG, making dataset
+/// labeling reproducible.
+pub trait Maximizer {
+    /// Maximizes `objective` starting from `start`, spending at most the
+    /// optimizer's configured iteration budget.
+    fn maximize<F, R>(&self, objective: F, start: &[f64], rng: &mut R) -> OptimizationResult
+    where
+        F: FnMut(&[f64]) -> f64,
+        R: Rng + ?Sized;
+}
+
+// ---------------------------------------------------------------------------
+// Nelder–Mead
+// ---------------------------------------------------------------------------
+
+/// Derivative-free Nelder–Mead simplex search (maximizing).
+///
+/// One "iteration" is one simplex transformation, which costs 1–2 objective
+/// evaluations (plus `k+1` for the initial simplex and occasional shrinks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NelderMead {
+    /// Iteration budget (paper: 500).
+    pub max_iterations: usize,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+    /// Convergence tolerance on the simplex value spread; 0 disables early
+    /// stopping so the full budget is always spent.
+    pub tolerance: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            max_iterations: 500,
+            initial_step: 0.5,
+            tolerance: 0.0,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Creates a Nelder–Mead optimizer with the given iteration budget.
+    pub fn new(max_iterations: usize) -> Self {
+        NelderMead {
+            max_iterations,
+            ..NelderMead::default()
+        }
+    }
+}
+
+impl Maximizer for NelderMead {
+    fn maximize<F, R>(&self, mut objective: F, start: &[f64], _rng: &mut R) -> OptimizationResult
+    where
+        F: FnMut(&[f64]) -> f64,
+        R: Rng + ?Sized,
+    {
+        assert!(!start.is_empty(), "start point must be non-empty");
+        let k = start.len();
+        let mut evaluations = 0usize;
+        let mut eval = |x: &[f64], evaluations: &mut usize| {
+            *evaluations += 1;
+            objective(x)
+        };
+
+        // Initial simplex: start plus one step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(k + 1);
+        let v0 = start.to_vec();
+        let f0 = eval(&v0, &mut evaluations);
+        simplex.push((v0, f0));
+        for i in 0..k {
+            let mut v = start.to_vec();
+            v[i] += self.initial_step;
+            let f = eval(&v, &mut evaluations);
+            simplex.push((v, f));
+        }
+
+        let mut history = Vec::with_capacity(self.max_iterations);
+        let (alpha, gamma_e, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+        for _ in 0..self.max_iterations {
+            // Sort descending by value (we maximize): best first.
+            simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("objective returned NaN"));
+            let best = simplex[0].1;
+            let worst = simplex[k].1;
+            history.push(best);
+            if self.tolerance > 0.0 && (best - worst).abs() < self.tolerance {
+                // Early convergence: pad history so callers still see a
+                // monotone curve of full length semantics.
+                break;
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; k];
+            for (v, _) in &simplex[..k] {
+                for (c, x) in centroid.iter_mut().zip(v) {
+                    *c += x / k as f64;
+                }
+            }
+
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[k].0)
+                .map(|(c, w)| c + alpha * (c - w))
+                .collect();
+            let f_reflect = eval(&reflect, &mut evaluations);
+
+            if f_reflect > simplex[0].1 {
+                // Try expansion.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&reflect)
+                    .map(|(c, r)| c + gamma_e * (r - c))
+                    .collect();
+                let f_expand = eval(&expand, &mut evaluations);
+                simplex[k] = if f_expand > f_reflect {
+                    (expand, f_expand)
+                } else {
+                    (reflect, f_reflect)
+                };
+            } else if f_reflect > simplex[k - 1].1 {
+                simplex[k] = (reflect, f_reflect);
+            } else {
+                // Contraction toward the better of worst/reflected.
+                let (toward, f_toward) = if f_reflect > simplex[k].1 {
+                    (&reflect, f_reflect)
+                } else {
+                    (&simplex[k].0.clone(), simplex[k].1)
+                };
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(toward)
+                    .map(|(c, t)| c + rho * (t - c))
+                    .collect();
+                let f_contract = eval(&contract, &mut evaluations);
+                if f_contract > f_toward {
+                    simplex[k] = (contract, f_contract);
+                } else {
+                    // Shrink toward the best vertex.
+                    let best_v = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let shrunk: Vec<f64> = best_v
+                            .iter()
+                            .zip(&entry.0)
+                            .map(|(b, x)| b + sigma * (x - b))
+                            .collect();
+                        let f = eval(&shrunk, &mut evaluations);
+                        *entry = (shrunk, f);
+                    }
+                }
+            }
+        }
+
+        simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("objective returned NaN"));
+        // Record the final best if the loop body never pushed it.
+        if history.last().copied() != Some(simplex[0].1) {
+            history.push(simplex[0].1);
+        }
+        make_monotone(&mut history);
+        OptimizationResult {
+            best_point: simplex[0].0.clone(),
+            best_value: simplex[0].1,
+            history,
+            evaluations,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SPSA
+// ---------------------------------------------------------------------------
+
+/// Simultaneous-perturbation stochastic approximation (maximizing).
+///
+/// Uses the standard gain sequences `a_k = a / (k + 1 + A)^α` and
+/// `c_k = c / (k + 1)^γ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spsa {
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Step-size numerator `a`.
+    pub a: f64,
+    /// Stability constant `A`.
+    pub big_a: f64,
+    /// Step-size exponent `α`.
+    pub alpha: f64,
+    /// Perturbation numerator `c`.
+    pub c: f64,
+    /// Perturbation exponent `γ`.
+    pub gamma: f64,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Spsa {
+            max_iterations: 500,
+            a: 0.2,
+            big_a: 10.0,
+            alpha: 0.602,
+            c: 0.15,
+            gamma: 0.101,
+        }
+    }
+}
+
+impl Spsa {
+    /// Creates an SPSA optimizer with the given iteration budget.
+    pub fn new(max_iterations: usize) -> Self {
+        Spsa {
+            max_iterations,
+            ..Spsa::default()
+        }
+    }
+}
+
+impl Maximizer for Spsa {
+    fn maximize<F, R>(&self, mut objective: F, start: &[f64], rng: &mut R) -> OptimizationResult
+    where
+        F: FnMut(&[f64]) -> f64,
+        R: Rng + ?Sized,
+    {
+        assert!(!start.is_empty(), "start point must be non-empty");
+        let k = start.len();
+        let mut x = start.to_vec();
+        let mut evaluations = 0usize;
+        let mut best_point = x.clone();
+        let mut best_value = {
+            evaluations += 1;
+            objective(&x)
+        };
+        let mut history = Vec::with_capacity(self.max_iterations);
+
+        for iter in 0..self.max_iterations {
+            let ak = self.a / ((iter as f64 + 1.0 + self.big_a).powf(self.alpha));
+            let ck = self.c / ((iter as f64 + 1.0).powf(self.gamma));
+            // Rademacher perturbation.
+            let delta: Vec<f64> = (0..k)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let plus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+            let minus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+            evaluations += 2;
+            let f_plus = objective(&plus);
+            let f_minus = objective(&minus);
+            let scale = (f_plus - f_minus) / (2.0 * ck);
+            for (xi, d) in x.iter_mut().zip(&delta) {
+                // Ascent: move along the estimated gradient.
+                *xi += ak * scale * d;
+            }
+            evaluations += 1;
+            let f_x = objective(&x);
+            if f_x > best_value {
+                best_value = f_x;
+                best_point = x.clone();
+            }
+            history.push(best_value);
+        }
+        OptimizationResult {
+            best_point,
+            best_value,
+            history,
+            evaluations,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference Adam
+// ---------------------------------------------------------------------------
+
+/// Central-difference gradient estimation fed into the Adam update rule
+/// (maximizing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiniteDiffAdam {
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Finite-difference step.
+    pub epsilon: f64,
+    /// Adam β₁.
+    pub beta1: f64,
+    /// Adam β₂.
+    pub beta2: f64,
+}
+
+impl Default for FiniteDiffAdam {
+    fn default() -> Self {
+        FiniteDiffAdam {
+            max_iterations: 500,
+            learning_rate: 0.05,
+            epsilon: 1e-4,
+            beta1: 0.9,
+            beta2: 0.999,
+        }
+    }
+}
+
+impl FiniteDiffAdam {
+    /// Creates a finite-difference Adam optimizer with the given budget.
+    pub fn new(max_iterations: usize) -> Self {
+        FiniteDiffAdam {
+            max_iterations,
+            ..FiniteDiffAdam::default()
+        }
+    }
+}
+
+impl Maximizer for FiniteDiffAdam {
+    fn maximize<F, R>(&self, mut objective: F, start: &[f64], _rng: &mut R) -> OptimizationResult
+    where
+        F: FnMut(&[f64]) -> f64,
+        R: Rng + ?Sized,
+    {
+        assert!(!start.is_empty(), "start point must be non-empty");
+        let k = start.len();
+        let mut x = start.to_vec();
+        let mut m = vec![0.0; k];
+        let mut v = vec![0.0; k];
+        let mut evaluations = 0usize;
+        let mut best_point = x.clone();
+        let mut best_value = {
+            evaluations += 1;
+            objective(&x)
+        };
+        let mut history = Vec::with_capacity(self.max_iterations);
+
+        for iter in 0..self.max_iterations {
+            // Central differences per coordinate.
+            let mut grad = vec![0.0; k];
+            for i in 0..k {
+                let mut plus = x.clone();
+                plus[i] += self.epsilon;
+                let mut minus = x.clone();
+                minus[i] -= self.epsilon;
+                evaluations += 2;
+                grad[i] = (objective(&plus) - objective(&minus)) / (2.0 * self.epsilon);
+            }
+            let t = (iter + 1) as f64;
+            for i in 0..k {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+                let m_hat = m[i] / (1.0 - self.beta1.powf(t));
+                let v_hat = v[i] / (1.0 - self.beta2.powf(t));
+                // Ascent step.
+                x[i] += self.learning_rate * m_hat / (v_hat.sqrt() + 1e-8);
+            }
+            evaluations += 1;
+            let f_x = objective(&x);
+            if f_x > best_value {
+                best_value = f_x;
+                best_point = x.clone();
+            }
+            history.push(best_value);
+        }
+        OptimizationResult {
+            best_point,
+            best_value,
+            history,
+            evaluations,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grid search (p = 1)
+// ---------------------------------------------------------------------------
+
+/// Exhaustive grid search over the periodic p=1 domain
+/// `γ ∈ [0, 2π) × β ∈ [0, π)`.
+///
+/// Only valid for two-dimensional parameter vectors; used as the "ground
+/// truth" labeler in data-quality ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSearch {
+    /// Grid points per axis.
+    pub resolution: usize,
+}
+
+impl Default for GridSearch {
+    fn default() -> Self {
+        GridSearch { resolution: 64 }
+    }
+}
+
+impl Maximizer for GridSearch {
+    fn maximize<F, R>(&self, mut objective: F, start: &[f64], _rng: &mut R) -> OptimizationResult
+    where
+        F: FnMut(&[f64]) -> f64,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(start.len(), 2, "grid search only supports p = 1 (2 params)");
+        assert!(self.resolution >= 2, "grid resolution must be at least 2");
+        let mut best_point = start.to_vec();
+        let mut best_value = f64::NEG_INFINITY;
+        let mut history = Vec::with_capacity(self.resolution * self.resolution);
+        let mut evaluations = 0usize;
+        for i in 0..self.resolution {
+            for j in 0..self.resolution {
+                let gamma = 2.0 * std::f64::consts::PI * i as f64 / self.resolution as f64;
+                let beta = std::f64::consts::PI * j as f64 / self.resolution as f64;
+                let point = [gamma, beta];
+                evaluations += 1;
+                let value = objective(&point);
+                if value > best_value {
+                    best_value = value;
+                    best_point = point.to_vec();
+                }
+                history.push(best_value);
+            }
+        }
+        OptimizationResult {
+            best_point,
+            best_value,
+            history,
+            evaluations,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-start wrapper
+// ---------------------------------------------------------------------------
+
+/// Runs an inner optimizer from several random restarts (plus the supplied
+/// start) and keeps the best outcome — the standard defense against the
+/// local traps §3.3 of the paper blames for its noisy labels.
+///
+/// Restart points are sampled uniformly from per-coordinate ranges supplied
+/// at construction (for QAOA: `γ ∈ [0, 2π)`, `β ∈ [0, π)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiStart<M> {
+    inner: M,
+    restarts: usize,
+    ranges: Vec<(f64, f64)>,
+}
+
+impl<M: Maximizer> MultiStart<M> {
+    /// Wraps `inner` with `restarts` additional random starts drawn from
+    /// `ranges` (one `(lo, hi)` pair per coordinate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or reversed.
+    pub fn new(inner: M, restarts: usize, ranges: Vec<(f64, f64)>) -> Self {
+        assert!(
+            ranges.iter().all(|&(lo, hi)| lo < hi),
+            "every restart range must satisfy lo < hi"
+        );
+        MultiStart {
+            inner,
+            restarts,
+            ranges,
+        }
+    }
+
+    /// The standard QAOA ranges for depth `p`: γ over `[0, 2π)`, β over
+    /// `[0, π)`.
+    pub fn qaoa(inner: M, restarts: usize, depth: usize) -> Self {
+        let mut ranges = vec![(0.0, 2.0 * std::f64::consts::PI); depth];
+        ranges.extend(vec![(0.0, std::f64::consts::PI); depth]);
+        Self::new(inner, restarts, ranges)
+    }
+}
+
+impl<M: Maximizer> Maximizer for MultiStart<M> {
+    fn maximize<F, R>(&self, mut objective: F, start: &[f64], rng: &mut R) -> OptimizationResult
+    where
+        F: FnMut(&[f64]) -> f64,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(
+            start.len(),
+            self.ranges.len(),
+            "start dimension must match restart ranges"
+        );
+        let mut best = self.inner.maximize(&mut objective, start, rng);
+        let mut history = best.history.clone();
+        for _ in 0..self.restarts {
+            let restart: Vec<f64> = self
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..hi))
+                .collect();
+            let result = self.inner.maximize(&mut objective, &restart, rng);
+            best.evaluations += result.evaluations;
+            history.extend(result.history.iter().copied());
+            if result.best_value > best.best_value {
+                best.best_point = result.best_point;
+                best.best_value = result.best_value;
+            }
+        }
+        make_monotone(&mut history);
+        OptimizationResult {
+            history,
+            ..best
+        }
+    }
+}
+
+/// Forces a history to be monotone non-decreasing (best-so-far semantics).
+fn make_monotone(history: &mut [f64]) {
+    for i in 1..history.len() {
+        if history[i] < history[i - 1] {
+            history[i] = history[i - 1];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Smooth 2-d test objective with maximum 3.0 at (1, -2).
+    fn bowl(x: &[f64]) -> f64 {
+        3.0 - (x[0] - 1.0).powi(2) - (x[1] + 2.0).powi(2)
+    }
+
+    /// Periodic objective mimicking a QAOA landscape; max 1 at (π/4, π/8).
+    fn periodic(x: &[f64]) -> f64 {
+        (2.0 * x[0]).sin() * (4.0 * x[1]).sin()
+    }
+
+    #[test]
+    fn nelder_mead_finds_bowl_maximum() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let r = NelderMead::new(200).maximize(bowl, &[4.0, 4.0], &mut rng);
+        assert!((r.best_value - 3.0).abs() < 1e-6, "value {}", r.best_value);
+        assert!((r.best_point[0] - 1.0).abs() < 1e-3);
+        assert!((r.best_point[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spsa_improves_on_start() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = Spsa::new(400).maximize(bowl, &[3.0, 1.0], &mut rng);
+        assert!(r.best_value > bowl(&[3.0, 1.0]) + 1.0);
+    }
+
+    #[test]
+    fn adam_finds_bowl_maximum() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let r = FiniteDiffAdam::new(500).maximize(bowl, &[4.0, 4.0], &mut rng);
+        assert!((r.best_value - 3.0).abs() < 1e-3, "value {}", r.best_value);
+    }
+
+    #[test]
+    fn grid_search_finds_periodic_maximum() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let r = GridSearch { resolution: 64 }.maximize(periodic, &[0.0, 0.0], &mut rng);
+        assert!(r.best_value > 0.99, "value {}", r.best_value);
+        assert_eq!(r.evaluations, 64 * 64);
+    }
+
+    #[test]
+    fn histories_are_monotone_and_reach_best() {
+        let mut rng = StdRng::seed_from_u64(45);
+        type Runner = Box<dyn Fn(&mut StdRng) -> OptimizationResult>;
+        let optimizers: Vec<Runner> = vec![
+            Box::new(|rng| NelderMead::new(100).maximize(periodic, &[0.3, 0.1], rng)),
+            Box::new(|rng| Spsa::new(100).maximize(periodic, &[0.3, 0.1], rng)),
+            Box::new(|rng| FiniteDiffAdam::new(100).maximize(periodic, &[0.3, 0.1], rng)),
+            Box::new(|rng| {
+                GridSearch { resolution: 16 }.maximize(periodic, &[0.0, 0.0], rng)
+            }),
+        ];
+        for run in optimizers {
+            let r = run(&mut rng);
+            assert!(!r.history.is_empty());
+            for w in r.history.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "history must be monotone");
+            }
+            let last = *r.history.last().unwrap();
+            assert!((last - r.best_value).abs() < 1e-9);
+            assert!(r.evaluations > 0);
+        }
+    }
+
+    #[test]
+    fn iterations_to_fraction() {
+        let r = OptimizationResult {
+            best_point: vec![0.0],
+            best_value: 10.0,
+            history: vec![2.0, 5.0, 9.0, 10.0],
+            evaluations: 4,
+        };
+        assert_eq!(r.iterations_to_fraction(0.5), Some(2));
+        assert_eq!(r.iterations_to_fraction(0.95), Some(4));
+        assert_eq!(r.iterations_to_fraction(0.1), Some(1));
+    }
+
+    #[test]
+    fn nelder_mead_early_stop_with_tolerance() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let nm = NelderMead {
+            max_iterations: 10_000,
+            initial_step: 0.5,
+            tolerance: 1e-10,
+        };
+        let r = nm.maximize(bowl, &[2.0, 0.0], &mut rng);
+        assert!(r.history.len() < 10_000, "should converge early");
+        assert!((r.best_value - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "p = 1")]
+    fn grid_search_rejects_higher_dims() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let _ = GridSearch::default().maximize(|_| 0.0, &[0.0; 4], &mut rng);
+    }
+
+    #[test]
+    fn multi_start_escapes_local_trap() {
+        // A bimodal objective: small bump at x=-2, big bump at x=3. Plain
+        // Nelder–Mead from x=-2.5 climbs the small bump; multi-start over
+        // [-5, 5] finds the big one.
+        let bimodal = |x: &[f64]| {
+            let small = (-((x[0] + 2.0).powi(2))).exp();
+            let big = 3.0 * (-((x[0] - 3.0).powi(2))).exp();
+            small + big
+        };
+        let mut rng = StdRng::seed_from_u64(48);
+        let plain = NelderMead::new(80).maximize(bimodal, &[-2.5], &mut rng);
+        assert!(plain.best_value < 1.5, "plain NM should be trapped");
+        let multi = MultiStart::new(NelderMead::new(80), 10, vec![(-5.0, 5.0)]);
+        let escaped = multi.maximize(bimodal, &[-2.5], &mut rng);
+        assert!((escaped.best_value - 3.0).abs() < 0.1, "{}", escaped.best_value);
+        assert!(escaped.evaluations > plain.evaluations);
+        for w in escaped.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_start_qaoa_ranges() {
+        let ms = MultiStart::qaoa(NelderMead::new(10), 2, 2);
+        let mut rng = StdRng::seed_from_u64(49);
+        // 2p = 4 coordinates expected.
+        let r = ms.maximize(|x| -x.iter().map(|v| v * v).sum::<f64>(), &[0.1; 4], &mut rng);
+        assert_eq!(r.best_point.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn multi_start_rejects_bad_range() {
+        let _ = MultiStart::new(NelderMead::new(10), 1, vec![(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r1 = Spsa::new(50).maximize(periodic, &[0.2, 0.2], &mut StdRng::seed_from_u64(7));
+        let r2 = Spsa::new(50).maximize(periodic, &[0.2, 0.2], &mut StdRng::seed_from_u64(7));
+        assert_eq!(r1, r2);
+    }
+}

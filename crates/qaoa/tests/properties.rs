@@ -1,0 +1,141 @@
+//! Property-based tests for the QAOA stack.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qaoa::optimize::{Maximizer, NelderMead, Spsa};
+use qaoa::{analytic, MaxCutHamiltonian, Params, QaoaCircuit};
+use qgraph::generate;
+
+fn arb_graph() -> impl Strategy<Value = qgraph::Graph> {
+    (3usize..9, 0.2f64..0.9, any::<u64>()).prop_map(|(n, p, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate::erdos_renyi(n, p, &mut rng).expect("valid parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expectation_bounded_by_spectrum(
+        g in arb_graph(),
+        gamma in -7.0f64..7.0,
+        beta in -4.0f64..4.0,
+    ) {
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
+        let e = circuit.expectation(&Params::new(vec![gamma], vec![beta]));
+        prop_assert!(e >= -1e-9);
+        prop_assert!(e <= circuit.hamiltonian().optimal_value() + 1e-9);
+    }
+
+    #[test]
+    fn simulator_equals_analytic_p1(
+        g in arb_graph(),
+        gamma in -3.0f64..3.0,
+        beta in -2.0f64..2.0,
+    ) {
+        prop_assume!(g.m() > 0);
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
+        let sim = circuit.expectation(&Params::new(vec![gamma], vec![beta]));
+        let formula = analytic::graph_expectation(&g, gamma, beta);
+        prop_assert!((sim - formula).abs() < 1e-8, "sim {sim} vs analytic {formula}");
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_invariant(
+        g in arb_graph(),
+        gamma in -9.0f64..9.0,
+        beta in -5.0f64..5.0,
+    ) {
+        let params = Params::new(vec![gamma], vec![beta]);
+        let canonical = params.canonical();
+        // Idempotent.
+        prop_assert!(canonical.canonical().distance(&canonical) < 1e-9);
+        // In-domain.
+        prop_assert!(canonical.gammas()[0] >= 0.0 && canonical.gammas()[0] <= std::f64::consts::PI);
+        prop_assert!(canonical.betas()[0] >= 0.0 && canonical.betas()[0] < std::f64::consts::FRAC_PI_2);
+        // Physically equivalent (unit weights).
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
+        let e1 = circuit.expectation(&params);
+        let e2 = circuit.expectation(&canonical);
+        prop_assert!((e1 - e2).abs() < 1e-8, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn state_norm_preserved_at_any_depth(
+        g in arb_graph(),
+        angles in proptest::collection::vec(-3.0f64..3.0, 2..8),
+    ) {
+        let depth = angles.len() / 2;
+        prop_assume!(depth >= 1);
+        let params = Params::new(
+            angles[..depth].to_vec(),
+            angles[depth..2 * depth].to_vec(),
+        );
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
+        let psi = circuit.run(&params);
+        prop_assert!((psi.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimizers_never_regress_from_start(
+        g in arb_graph(),
+        start_gamma in 0.0f64..6.2,
+        start_beta in 0.0f64..3.1,
+        seed in any::<u64>(),
+    ) {
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
+        let objective = |flat: &[f64]| {
+            circuit.expectation(&Params::from_flat(flat).expect("p=1 layout"))
+        };
+        let start = [start_gamma, start_beta];
+        let start_value = objective(&start);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nm = NelderMead::new(30).maximize(objective, &start, &mut rng);
+        prop_assert!(nm.best_value >= start_value - 1e-9);
+        let spsa = Spsa::new(30).maximize(objective, &start, &mut rng);
+        prop_assert!(spsa.best_value >= start_value - 1e-9);
+    }
+
+    #[test]
+    fn approximation_ratio_of_best_params_leq_one(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ham = MaxCutHamiltonian::new(&g);
+        let outcome = qaoa::warm_start::run_random_init(
+            &ham,
+            1,
+            &NelderMead::new(60),
+            &mut rng,
+        );
+        prop_assert!(outcome.final_ratio <= 1.0 + 1e-9);
+        prop_assert!(outcome.final_ratio >= outcome.initial_ratio - 1e-9);
+        // History is monotone best-so-far.
+        for w in outcome.history.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn interp_preserves_endpoint_schedule(
+        angles in proptest::collection::vec(0.05f64..1.5, 2..10),
+    ) {
+        let depth = angles.len() / 2;
+        prop_assume!(depth >= 1);
+        let params = Params::new(
+            angles[..depth].to_vec(),
+            angles[depth..2 * depth].to_vec(),
+        );
+        let extended = qaoa::interp::interp_extend(&params);
+        prop_assert_eq!(extended.depth(), depth + 1);
+        // First and last angles are preserved by the INTERP rule.
+        prop_assert!((extended.gammas()[0] - params.gammas()[0]).abs() < 1e-12);
+        prop_assert!(
+            (extended.gammas()[depth] - params.gammas()[depth - 1]).abs() < 1e-12
+        );
+    }
+}

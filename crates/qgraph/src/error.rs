@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or parsing graphs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge connected a node to itself; simple graphs forbid this.
+    SelfLoop(usize),
+    /// The same unordered pair appeared twice in the edge list.
+    DuplicateEdge(usize, usize),
+    /// A graph with zero nodes was requested where at least one is required.
+    EmptyGraph,
+    /// A d-regular graph on n nodes requires `d < n` and `n * d` even.
+    InvalidRegular {
+        /// Requested number of nodes.
+        n: usize,
+        /// Requested degree.
+        degree: usize,
+    },
+    /// An edge probability outside `[0, 1]` was supplied.
+    InvalidProbability(f64),
+    /// A non-finite edge weight was supplied.
+    InvalidWeight(f64),
+    /// A dimension argument was invalid for the requested topology
+    /// (for example a grid with a zero side).
+    InvalidDimension(String),
+    /// A graph file or dataset record failed to parse.
+    Parse {
+        /// 1-based line number of the failure, when known.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop at node {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::EmptyGraph => write!(f, "graph must have at least one node"),
+            GraphError::InvalidRegular { n, degree } => write!(
+                f,
+                "no simple {degree}-regular graph on {n} nodes (need degree < n and n*degree even)"
+            ),
+            GraphError::InvalidProbability(p) => {
+                write!(f, "edge probability {p} not in [0, 1]")
+            }
+            GraphError::InvalidWeight(w) => write!(f, "edge weight {w} is not finite"),
+            GraphError::InvalidDimension(msg) => write!(f, "invalid dimension: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::SelfLoop(3);
+        assert_eq!(e.to_string(), "self loop at node 3");
+        let e = GraphError::NodeOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("node 9"));
+        let e = GraphError::InvalidRegular { n: 5, degree: 3 };
+        assert!(e.to_string().contains("5 nodes"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,214 @@
+//! Graph text format.
+//!
+//! §3.1: "Each graph is stored in a text file, which is then inputted into
+//! the QAOA algorithm." The format used here is a minimal edge-list file:
+//!
+//! ```text
+//! # optional comments
+//! n <node-count>
+//! e <u> <v> [weight]
+//! e <u> <v> [weight]
+//! ```
+//!
+//! Weights default to `1.0` when omitted, so unweighted dataset files stay
+//! terse. [`write_graph`]/[`read_graph`] round-trip exactly.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{Graph, GraphError};
+
+/// Serializes a graph to the text format.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), qgraph::GraphError> {
+/// let g = qgraph::Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let text = qgraph::io::graph_to_string(&g);
+/// let back = qgraph::io::graph_from_str(&text)?;
+/// assert_eq!(g, back);
+/// # Ok(())
+/// # }
+/// ```
+pub fn graph_to_string(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", graph.n());
+    for e in graph.edges() {
+        if e.weight == 1.0 {
+            let _ = writeln!(out, "e {} {}", e.u, e.v);
+        } else {
+            let _ = writeln!(out, "e {} {} {}", e.u, e.v, e.weight);
+        }
+    }
+    out
+}
+
+/// Parses a graph from the text format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] with a 1-based line number on malformed
+/// input, and the usual construction errors for invalid edges.
+pub fn graph_from_str(text: &str) -> Result<Graph, GraphError> {
+    let mut graph: Option<Graph> = None;
+    let mut pending: Vec<(usize, usize, f64, usize)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("n") => {
+                let n: usize = parse_field(parts.next(), lineno, "node count")?;
+                if graph.is_some() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: "duplicate 'n' line".into(),
+                    });
+                }
+                graph = Some(Graph::empty(n)?);
+            }
+            Some("e") => {
+                let u: usize = parse_field(parts.next(), lineno, "edge endpoint u")?;
+                let v: usize = parse_field(parts.next(), lineno, "edge endpoint v")?;
+                let w: f64 = match parts.next() {
+                    Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
+                        line: lineno,
+                        message: format!("invalid weight '{tok}'"),
+                    })?,
+                    None => 1.0,
+                };
+                pending.push((u, v, w, lineno));
+            }
+            Some(other) => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("unknown record type '{other}'"),
+                });
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    let mut graph = graph.ok_or(GraphError::Parse {
+        line: 0,
+        message: "missing 'n' line".into(),
+    })?;
+    for (u, v, w, _lineno) in pending {
+        graph.add_edge(u, v, w)?;
+    }
+    Ok(graph)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} '{tok}'"),
+    })
+}
+
+/// Writes a graph to `path` in the text format.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_graph<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
+    fs::write(path, graph_to_string(graph))
+}
+
+/// Reads a graph from a text-format file.
+///
+/// # Errors
+///
+/// Returns an I/O error for filesystem failures; parse failures are wrapped
+/// into [`io::ErrorKind::InvalidData`].
+pub fn read_graph<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    let text = fs::read_to_string(path)?;
+    graph_from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_unweighted() {
+        let g = Graph::cycle(5).unwrap();
+        let s = graph_to_string(&g);
+        assert!(s.starts_with("n 5\n"));
+        assert!(s.contains("e 0 1\n"));
+        assert_eq!(graph_from_str(&s).unwrap(), g);
+    }
+
+    #[test]
+    fn round_trip_weighted() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 2.5), (1, 2, 1.0)]).unwrap();
+        let s = graph_to_string(&g);
+        assert!(s.contains("e 0 1 2.5"));
+        assert!(s.contains("e 1 2\n")); // weight-1 edges stay terse
+        assert_eq!(graph_from_str(&s).unwrap(), g);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a graph\n\nn 2\n# edge below\ne 0 1\n";
+        let g = graph_from_str(text).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = graph_from_str("n 2\ne 0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = graph_from_str("x 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = graph_from_str("e 0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 0, .. }));
+        let err = graph_from_str("n 2\nn 3\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = graph_from_str("n 2\ne 0 1 abc\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn structural_errors_propagate() {
+        assert!(matches!(
+            graph_from_str("n 2\ne 0 5\n"),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            graph_from_str("n 2\ne 0 0\n"),
+            Err(GraphError::SelfLoop(0))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("qgraph_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = Graph::complete(4).unwrap();
+        write_graph(&g, &path).unwrap();
+        let back = read_graph(&path).unwrap();
+        assert_eq!(g, back);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        assert!(read_graph("/nonexistent/definitely/missing.txt").is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Max-Cut solvers and cut evaluation.
+//!
+//! Approximation ratios in the paper are computed against "optimal solutions
+//! derived from a brute-force search approach" (§3.1); [`brute_force`] is
+//! that reference. [`greedy`] and [`local_search`] are cheap classical
+//! baselines used in examples and sanity tests, and [`random_cut`] is the
+//! expectation anchor (a uniformly random cut achieves half the total weight
+//! in expectation).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Graph;
+
+/// A bipartition of a graph's nodes together with its cut value.
+///
+/// `side[v]` is `false` for one part and `true` for the other. Cut value is
+/// the total weight of edges whose endpoints lie on different sides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cut {
+    /// Partition assignment per node.
+    pub side: Vec<bool>,
+    /// Total weight of cut edges.
+    pub value: f64,
+}
+
+impl Cut {
+    /// Evaluates the cut induced by `side` on `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != graph.n()`.
+    pub fn from_assignment(graph: &Graph, side: Vec<bool>) -> Self {
+        assert_eq!(side.len(), graph.n(), "assignment length must equal n");
+        let value = cut_value(graph, &side);
+        Cut { side, value }
+    }
+
+    /// The cut with every side flipped; same value by symmetry.
+    pub fn complement(&self, graph: &Graph) -> Cut {
+        Cut::from_assignment(graph, self.side.iter().map(|b| !b).collect())
+    }
+}
+
+/// Total weight of edges cut by the assignment `side`.
+///
+/// # Panics
+///
+/// Panics if `side.len() != graph.n()`.
+pub fn cut_value(graph: &Graph, side: &[bool]) -> f64 {
+    assert_eq!(side.len(), graph.n(), "assignment length must equal n");
+    graph
+        .edges()
+        .iter()
+        .filter(|e| side[e.u] != side[e.v])
+        .map(|e| e.weight)
+        .sum()
+}
+
+/// Cut value for a bitmask assignment (bit `v` = side of node `v`).
+pub fn cut_value_mask(graph: &Graph, mask: u64) -> f64 {
+    graph
+        .edges()
+        .iter()
+        .filter(|e| (mask >> e.u) & 1 != (mask >> e.v) & 1)
+        .map(|e| e.weight)
+        .sum()
+}
+
+/// Exhaustive optimal Max-Cut by enumerating all `2^(n-1)` bipartitions.
+///
+/// Node 0 is pinned to side `false`, halving the search space (a cut and its
+/// complement are the same bipartition).
+///
+/// # Panics
+///
+/// Panics if `graph.n() > 30` — the paper's instances have at most 15 nodes
+/// and exhaustive search beyond 30 is infeasible anyway.
+pub fn brute_force(graph: &Graph) -> Cut {
+    let n = graph.n();
+    assert!(n <= 30, "brute force limited to 30 nodes, got {n}");
+    let mut best_mask = 0u64;
+    let mut best_value = f64::NEG_INFINITY;
+    // Fix node 0 on side false: iterate masks over nodes 1..n.
+    let limit: u64 = 1 << (n - 1);
+    for upper in 0..limit {
+        let mask = upper << 1;
+        let value = cut_value_mask(graph, mask);
+        if value > best_value {
+            best_value = value;
+            best_mask = mask;
+        }
+    }
+    let side: Vec<bool> = (0..n).map(|v| (best_mask >> v) & 1 == 1).collect();
+    Cut {
+        side,
+        value: best_value,
+    }
+}
+
+/// Greedy constructive heuristic: place each node (in id order) on the side
+/// that currently cuts more incident weight.
+pub fn greedy(graph: &Graph) -> Cut {
+    let n = graph.n();
+    let mut side = vec![false; n];
+    let mut placed = vec![false; n];
+    for v in 0..n {
+        let mut gain_true = 0.0;
+        let mut gain_false = 0.0;
+        for &(u, w) in graph.neighbors(v) {
+            if placed[u] {
+                if side[u] {
+                    gain_false += w;
+                } else {
+                    gain_true += w;
+                }
+            }
+        }
+        side[v] = gain_true > gain_false;
+        placed[v] = true;
+    }
+    Cut::from_assignment(graph, side)
+}
+
+/// 1-flip local search (hill climbing) from a starting assignment: repeatedly
+/// flips the node with the largest positive gain until no flip improves.
+///
+/// # Panics
+///
+/// Panics if `start.len() != graph.n()`.
+pub fn local_search(graph: &Graph, start: Vec<bool>) -> Cut {
+    assert_eq!(start.len(), graph.n(), "assignment length must equal n");
+    let mut side = start;
+    loop {
+        let mut best_gain = 0.0;
+        let mut best_node = None;
+        for v in 0..graph.n() {
+            // Gain from flipping v: uncut incident weight minus cut incident weight.
+            let mut gain = 0.0;
+            for &(u, w) in graph.neighbors(v) {
+                if side[u] == side[v] {
+                    gain += w;
+                } else {
+                    gain -= w;
+                }
+            }
+            if gain > best_gain + 1e-12 {
+                best_gain = gain;
+                best_node = Some(v);
+            }
+        }
+        match best_node {
+            Some(v) => side[v] = !side[v],
+            None => break,
+        }
+    }
+    Cut::from_assignment(graph, side)
+}
+
+/// A uniformly random cut.
+pub fn random_cut<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Cut {
+    let side: Vec<bool> = (0..graph.n()).map(|_| rng.gen()).collect();
+    Cut::from_assignment(graph, side)
+}
+
+/// Approximation ratio of `achieved` against `optimal` cut value.
+///
+/// Returns `1.0` when the optimum is zero (edgeless graph — nothing to cut,
+/// every "solution" is optimal), matching the convention used when labeling
+/// the dataset.
+pub fn approximation_ratio(achieved: f64, optimal: f64) -> f64 {
+    if optimal == 0.0 {
+        1.0
+    } else {
+        achieved / optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn brute_force_on_known_graphs() {
+        // Even cycle: all edges cuttable.
+        assert_eq!(brute_force(&Graph::cycle(6).unwrap()).value, 6.0);
+        // Odd cycle: one edge must survive.
+        assert_eq!(brute_force(&Graph::cycle(5).unwrap()).value, 4.0);
+        // K4: best cut is 2+2 split cutting 4 edges.
+        assert_eq!(brute_force(&Graph::complete(4).unwrap()).value, 4.0);
+        // Star: center vs leaves cuts everything.
+        assert_eq!(brute_force(&Graph::star(7).unwrap()).value, 6.0);
+        // Complete bipartite: natural bipartition cuts all edges.
+        assert_eq!(
+            brute_force(&Graph::complete_bipartite(3, 4).unwrap()).value,
+            12.0
+        );
+        // Single node, no edges.
+        assert_eq!(brute_force(&Graph::empty(1).unwrap()).value, 0.0);
+    }
+
+    #[test]
+    fn brute_force_weighted() {
+        // Triangle with one heavy edge: cut isolates the heavy edge plus one.
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 5.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        // Best: separate {1} (or {0}) => cuts 5 + 1 = 6.
+        assert_eq!(brute_force(&g).value, 6.0);
+    }
+
+    #[test]
+    fn cut_value_consistency() {
+        let g = Graph::cycle(4).unwrap();
+        let side = vec![false, true, false, true];
+        assert_eq!(cut_value(&g, &side), 4.0);
+        let mask = 0b1010u64;
+        assert_eq!(cut_value_mask(&g, mask), 4.0);
+    }
+
+    #[test]
+    fn complement_has_same_value() {
+        let g = Graph::complete(5).unwrap();
+        let c = brute_force(&g);
+        let cc = c.complement(&g);
+        assert_eq!(c.value, cc.value);
+        assert_ne!(c.side, cc.side);
+    }
+
+    #[test]
+    fn greedy_never_exceeds_optimum() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let g = crate::generate::erdos_renyi(9, 0.4, &mut rng).unwrap();
+            let opt = brute_force(&g).value;
+            let gr = greedy(&g).value;
+            assert!(gr <= opt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn local_search_improves_or_matches_start() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let g = crate::generate::erdos_renyi(10, 0.5, &mut rng).unwrap();
+            let start = random_cut(&g, &mut rng);
+            let improved = local_search(&g, start.side.clone());
+            assert!(improved.value >= start.value - 1e-9);
+            assert!(improved.value <= brute_force(&g).value + 1e-9);
+        }
+    }
+
+    #[test]
+    fn local_search_is_locally_optimal() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = crate::generate::erdos_renyi(8, 0.5, &mut rng).unwrap();
+        let c = local_search(&g, vec![false; 8]);
+        // No single flip improves.
+        for v in 0..8 {
+            let mut flipped = c.side.clone();
+            flipped[v] = !flipped[v];
+            assert!(cut_value(&g, &flipped) <= c.value + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_cut_has_valid_value() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = Graph::complete(6).unwrap();
+        let c = random_cut(&g, &mut rng);
+        assert!(c.value >= 0.0 && c.value <= g.total_weight());
+    }
+
+    #[test]
+    fn approximation_ratio_conventions() {
+        assert_eq!(approximation_ratio(3.0, 4.0), 0.75);
+        assert_eq!(approximation_ratio(0.0, 0.0), 1.0);
+        assert_eq!(approximation_ratio(4.0, 4.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length")]
+    fn cut_value_rejects_wrong_length() {
+        let g = Graph::cycle(4).unwrap();
+        let _ = cut_value(&g, &[true, false]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Stochastic Pauli noise (trajectory method).
+//!
+//! NISQ devices are noisy (§1 of the paper); labeling on a simulator is
+//! exact, but studying how warm-started QAOA degrades under hardware noise
+//! requires a noise model. This module implements the depolarizing channel
+//! by stochastic unraveling: each application inserts a uniformly random
+//! Pauli error with probability `p`, so averaging observables over many
+//! trajectories converges to the density-matrix result without ever storing
+//! a `4^n` object.
+
+use rand::Rng;
+
+use crate::{gates, StateVector};
+
+/// A single-qubit depolarizing channel with error probability `p`: with
+/// probability `p` one of `X`, `Y`, `Z` (uniform) is applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Depolarizing {
+    probability: f64,
+}
+
+impl Depolarizing {
+    /// Creates a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= probability <= 1`.
+    pub fn new(probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "error probability must be in [0, 1]"
+        );
+        Depolarizing { probability }
+    }
+
+    /// The error probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Samples one trajectory step on a single qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn apply<R: Rng + ?Sized>(&self, psi: &mut StateVector, qubit: usize, rng: &mut R) {
+        if rng.gen::<f64>() >= self.probability {
+            return;
+        }
+        match rng.gen_range(0..3) {
+            0 => gates::x(psi, qubit),
+            1 => {
+                // Y = iXZ: apply Z then X; the global phase i is irrelevant.
+                gates::z(psi, qubit);
+                gates::x(psi, qubit);
+            }
+            _ => gates::z(psi, qubit),
+        }
+    }
+
+    /// Samples one trajectory step on every qubit independently.
+    pub fn apply_all<R: Rng + ?Sized>(&self, psi: &mut StateVector, rng: &mut R) {
+        for q in 0..psi.num_qubits() {
+            self.apply(psi, q, rng);
+        }
+    }
+}
+
+/// Averages a diagonal observable over `trajectories` noisy runs of a
+/// circuit. `build` receives a fresh state, the channel and the RNG, and
+/// must leave the final state in the register it was given.
+pub fn trajectory_expectation<R, F>(
+    num_qubits: usize,
+    values: &[f64],
+    channel: Depolarizing,
+    trajectories: usize,
+    rng: &mut R,
+    mut build: F,
+) -> f64
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut StateVector, Depolarizing, &mut R),
+{
+    assert!(trajectories >= 1, "need at least one trajectory");
+    let mut total = 0.0;
+    for _ in 0..trajectories {
+        let mut psi = StateVector::uniform_superposition(num_qubits);
+        build(&mut psi, channel, rng);
+        total += psi.expectation_diagonal(values);
+    }
+    total / trajectories as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let channel = Depolarizing::new(0.0);
+        let mut psi = StateVector::uniform_superposition(3);
+        let before = psi.clone();
+        for _ in 0..50 {
+            channel.apply_all(&mut psi, &mut rng);
+        }
+        assert_eq!(psi, before);
+    }
+
+    #[test]
+    fn noise_preserves_norm() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let channel = Depolarizing::new(0.5);
+        let mut psi = StateVector::uniform_superposition(4);
+        for _ in 0..20 {
+            channel.apply_all(&mut psi, &mut rng);
+        }
+        assert!((psi.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn full_depolarizing_randomizes_z_expectation() {
+        // Start in |0⟩ (⟨Z⟩ = 1); heavy noise drives the trajectory-average
+        // of ⟨Z⟩ toward 0.
+        let mut rng = StdRng::seed_from_u64(63);
+        let channel = Depolarizing::new(0.75);
+        let z_values = [1.0, -1.0];
+        let mut total = 0.0;
+        let trials = 4000;
+        for _ in 0..trials {
+            let mut psi = StateVector::zero_state(1);
+            for _ in 0..5 {
+                channel.apply(&mut psi, 0, &mut rng);
+            }
+            total += psi.expectation_diagonal(&z_values);
+        }
+        let mean = total / trials as f64;
+        assert!(mean.abs() < 0.05, "⟨Z⟩ after heavy noise: {mean}");
+    }
+
+    #[test]
+    fn trajectory_expectation_matches_noiseless_at_p0() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let values: Vec<f64> = (0..8).map(|z: u64| z.count_ones() as f64).collect();
+        let noiseless = StateVector::uniform_superposition(3).expectation_diagonal(&values);
+        let got = trajectory_expectation(
+            3,
+            &values,
+            Depolarizing::new(0.0),
+            3,
+            &mut rng,
+            |psi, ch, rng| ch.apply_all(psi, rng),
+        );
+        assert!((got - noiseless).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        let _ = Depolarizing::new(1.5);
+    }
+}

@@ -1,0 +1,326 @@
+//! Pauli-string observables.
+//!
+//! The cost Hamiltonian is diagonal, but analyzing QAOA states also needs
+//! off-diagonal observables: the mixer `Σ X_j`, energy variances, and
+//! overlap diagnostics. A [`PauliString`] is a tensor product of `I/X/Y/Z`
+//! factors; expectation values are computed exactly by applying the string
+//! to a copy of the state (O(2^n), same cost as one gate layer).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Complex, StateVector};
+
+/// A single-qubit Pauli factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A tensor product of Pauli factors over a register, e.g. `X I Z`.
+///
+/// # Example
+///
+/// ```
+/// use qsim::pauli::PauliString;
+/// use qsim::StateVector;
+///
+/// // ⟨+|X|+⟩ = 1 on every qubit of the uniform superposition.
+/// let psi = StateVector::uniform_superposition(3);
+/// let x0: PauliString = "XII".parse()?;
+/// assert!((x0.expectation(&psi) - 1.0).abs() < 1e-12);
+/// # Ok::<(), qsim::pauli::ParsePauliError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PauliString {
+    factors: Vec<Pauli>,
+}
+
+/// Error parsing a Pauli string from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// The offending character.
+    pub character: char,
+    /// Its position in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid pauli character '{}' at position {}",
+            self.character, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl std::str::FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    /// Parses e.g. `"XIZY"`; character `i` acts on qubit `i`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let factors = s
+            .chars()
+            .enumerate()
+            .map(|(position, c)| match c {
+                'I' | 'i' => Ok(Pauli::I),
+                'X' | 'x' => Ok(Pauli::X),
+                'Y' | 'y' => Ok(Pauli::Y),
+                'Z' | 'z' => Ok(Pauli::Z),
+                character => Err(ParsePauliError {
+                    character,
+                    position,
+                }),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PauliString { factors })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.factors {
+            let c = match p {
+                Pauli::I => 'I',
+                Pauli::X => 'X',
+                Pauli::Y => 'Y',
+                Pauli::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl PauliString {
+    /// Builds a string from factors (factor `i` acts on qubit `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty.
+    pub fn new(factors: Vec<Pauli>) -> Self {
+        assert!(!factors.is_empty(), "pauli string must be non-empty");
+        PauliString { factors }
+    }
+
+    /// The all-identity string on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        Self::new(vec![Pauli::I; n])
+    }
+
+    /// A single `pauli` on `qubit` of an `n`-qubit register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn single(n: usize, qubit: usize, pauli: Pauli) -> Self {
+        assert!(qubit < n, "qubit {qubit} out of range");
+        let mut factors = vec![Pauli::I; n];
+        factors[qubit] = pauli;
+        Self::new(factors)
+    }
+
+    /// Number of qubits the string spans.
+    pub fn num_qubits(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.factors.iter().filter(|&&p| p != Pauli::I).count()
+    }
+
+    /// Applies the string to the state in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register sizes differ.
+    pub fn apply(&self, psi: &mut StateVector) {
+        assert_eq!(
+            psi.num_qubits(),
+            self.num_qubits(),
+            "state and string register sizes differ"
+        );
+        // Collect bit masks: X-type flips, Z-type phases. Y = iXZ.
+        let mut flip_mask = 0usize;
+        let mut phase_mask = 0usize;
+        let mut y_count = 0u32;
+        for (q, &p) in self.factors.iter().enumerate() {
+            match p {
+                Pauli::I => {}
+                Pauli::X => flip_mask |= 1 << q,
+                Pauli::Z => phase_mask |= 1 << q,
+                Pauli::Y => {
+                    flip_mask |= 1 << q;
+                    phase_mask |= 1 << q;
+                    y_count += 1;
+                }
+            }
+        }
+        let global = match y_count % 4 {
+            0 => Complex::ONE,
+            1 => Complex::I,
+            2 => -Complex::ONE,
+            _ => -Complex::I,
+        };
+        let dim = psi.dim();
+        let amps = psi.amplitudes_mut();
+        let mut out = vec![Complex::ZERO; dim];
+        for (i, &a) in amps.iter().enumerate() {
+            let j = i ^ flip_mask;
+            // Phase from Z/Y factors acting on the *input* basis state:
+            // (-1)^{popcount(i & phase_mask)}.
+            let sign = if (i & phase_mask).count_ones().is_multiple_of(2) {
+                Complex::ONE
+            } else {
+                -Complex::ONE
+            };
+            out[j] += global * sign * a;
+        }
+        amps.copy_from_slice(&out);
+    }
+
+    /// Exact expectation `⟨ψ|P|ψ⟩` (real, since `P` is Hermitian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register sizes differ.
+    pub fn expectation(&self, psi: &StateVector) -> f64 {
+        let mut applied = psi.clone();
+        self.apply(&mut applied);
+        psi.inner_product(&applied).re
+    }
+}
+
+/// The transverse-field mixer `B = Σ_j X_j` expectation — the quantity QAOA
+/// drives toward its extremes between layers.
+pub fn mixer_expectation(psi: &StateVector) -> f64 {
+    (0..psi.num_qubits())
+        .map(|q| PauliString::single(psi.num_qubits(), q, Pauli::X).expectation(psi))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s: PauliString = "XIZY".parse().unwrap();
+        assert_eq!(s.to_string(), "XIZY");
+        assert_eq!(s.num_qubits(), 4);
+        assert_eq!(s.weight(), 3);
+        let err = "XQ".parse::<PauliString>().unwrap_err();
+        assert_eq!(err.position, 1);
+        assert_eq!(err.character, 'Q');
+    }
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let z0 = PauliString::single(2, 0, Pauli::Z);
+        assert!((z0.expectation(&StateVector::basis_state(2, 0b00)) - 1.0).abs() < 1e-12);
+        assert!((z0.expectation(&StateVector::basis_state(2, 0b01)) + 1.0).abs() < 1e-12);
+        // Qubit 1 untouched by Z on qubit 0.
+        assert!((z0.expectation(&StateVector::basis_state(2, 0b10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let psi = StateVector::uniform_superposition(3);
+        for q in 0..3 {
+            let x = PauliString::single(3, q, Pauli::X);
+            assert!((x.expectation(&psi) - 1.0).abs() < 1e-12);
+        }
+        assert!((mixer_expectation(&psi) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_on_eigenstate() {
+        // |+i⟩ = (|0⟩ + i|1⟩)/√2 is the +1 eigenstate of Y.
+        let psi = StateVector::from_amplitudes(vec![
+            Complex::from(1.0 / 2f64.sqrt()),
+            Complex::new(0.0, 1.0 / 2f64.sqrt()),
+        ]);
+        let y = PauliString::single(1, 0, Pauli::Y);
+        assert!((y.expectation(&psi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_strings_square_to_identity() {
+        let mut psi = StateVector::uniform_superposition(3);
+        gates::rz(&mut psi, 0, 0.9);
+        gates::rx(&mut psi, 2, 0.4);
+        let before = psi.clone();
+        let s: PauliString = "YXZ".parse().unwrap();
+        s.apply(&mut psi);
+        s.apply(&mut psi);
+        assert!((psi.fidelity(&before) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_matches_gate_implementation() {
+        // X and Z strings must act exactly like the gate kernels.
+        let mut a = StateVector::uniform_superposition(2);
+        gates::rz(&mut a, 0, 0.31);
+        let mut b = a.clone();
+        PauliString::single(2, 1, Pauli::X).apply(&mut a);
+        gates::x(&mut b, 1);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+
+        let mut c = StateVector::uniform_superposition(2);
+        let mut d = c.clone();
+        PauliString::single(2, 0, Pauli::Z).apply(&mut c);
+        gates::z(&mut d, 0);
+        assert!((c.fidelity(&d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_expectation_matches_diagonal_operator() {
+        use crate::diagonal::DiagonalOperator;
+        let mut psi = StateVector::uniform_superposition(2);
+        gates::rzz(&mut psi, 0, 1, 0.8);
+        gates::rx_all(&mut psi, 0.5);
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let op = DiagonalOperator::from_fn(2, |z| {
+            let a = (z & 1) as i32;
+            let b = ((z >> 1) & 1) as i32;
+            if a == b {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        assert!((zz.expectation(&psi) - op.expectation(&psi)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixer_expectation_bounds() {
+        let psi = StateVector::basis_state(4, 7);
+        // Basis states have ⟨X⟩ = 0 on every qubit.
+        assert!(mixer_expectation(&psi).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "register sizes differ")]
+    fn size_mismatch_rejected() {
+        let s = PauliString::identity(2);
+        let psi = StateVector::zero_state(3);
+        let _ = s.expectation(&psi);
+    }
+}

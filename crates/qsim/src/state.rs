@@ -1,0 +1,325 @@
+use rand::Rng;
+
+use crate::{Complex, MAX_QUBITS};
+
+/// A dense `n`-qubit quantum state: `2^n` complex amplitudes.
+///
+/// Basis states are indexed little-endian: bit `q` of the index is the value
+/// of qubit `q`.
+///
+/// # Example
+///
+/// ```
+/// use qsim::StateVector;
+///
+/// let psi = StateVector::uniform_superposition(3);
+/// assert_eq!(psi.num_qubits(), 3);
+/// assert!((psi.norm() - 1.0).abs() < 1e-12);
+/// assert!((psi.probability(0b101) - 0.125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The computational basis state `|0...0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is 0 or exceeds [`MAX_QUBITS`].
+    pub fn zero_state(num_qubits: usize) -> Self {
+        Self::basis_state(num_qubits, 0)
+    }
+
+    /// The computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is 0, exceeds [`MAX_QUBITS`], or
+    /// `index >= 2^num_qubits`.
+    pub fn basis_state(num_qubits: usize, index: u64) -> Self {
+        assert!(
+            (1..=MAX_QUBITS).contains(&num_qubits),
+            "num_qubits must be in 1..={MAX_QUBITS}, got {num_qubits}"
+        );
+        let dim = 1usize << num_qubits;
+        assert!((index as usize) < dim, "basis index {index} out of range");
+        let mut amplitudes = vec![Complex::ZERO; dim];
+        amplitudes[index as usize] = Complex::ONE;
+        StateVector {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// The uniform superposition `|+⟩^⊗n` — QAOA's initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is 0 or exceeds [`MAX_QUBITS`].
+    pub fn uniform_superposition(num_qubits: usize) -> Self {
+        let mut psi = Self::zero_state(num_qubits);
+        let amp = Complex::from(1.0 / (psi.dim() as f64).sqrt());
+        psi.amplitudes.fill(amp);
+        psi
+    }
+
+    /// Builds a state from raw amplitudes (length must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not `2^k` for `1 <= k <= MAX_QUBITS`.
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
+        let dim = amplitudes.len();
+        assert!(dim >= 2 && dim.is_power_of_two(), "length must be a power of two >= 2");
+        let num_qubits = dim.trailing_zeros() as usize;
+        assert!(num_qubits <= MAX_QUBITS, "too many qubits");
+        StateVector {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dimension `2^n` of the underlying vector.
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Immutable view of the amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// Mutable view of the amplitudes (used by gate kernels).
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amplitudes
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn amplitude(&self, index: usize) -> Complex {
+        self.amplitudes[index]
+    }
+
+    /// `⟨self|self⟩^{1/2}`.
+    pub fn norm(&self) -> f64 {
+        self.amplitudes
+            .iter()
+            .map(|a| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Rescales to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is (numerically) the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        assert!(n > 1e-300, "cannot normalize the zero vector");
+        let inv = 1.0 / n;
+        for a in &mut self.amplitudes {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn inner_product(&self, other: &StateVector) -> Complex {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "inner product requires equal qubit counts"
+        );
+        self.amplitudes
+            .iter()
+            .zip(&other.amplitudes)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Probability of measuring basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+
+    /// All basis-state probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Samples one computational-basis measurement outcome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut u: f64 = rng.gen::<f64>() * self.norm().powi(2);
+        for (i, a) in self.amplitudes.iter().enumerate() {
+            u -= a.norm_sqr();
+            if u <= 0.0 {
+                return i as u64;
+            }
+        }
+        (self.dim() - 1) as u64
+    }
+
+    /// Samples `shots` measurement outcomes and returns per-basis-state
+    /// counts (length `2^n`).
+    pub fn sample_counts<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> Vec<usize> {
+        let mut counts = vec![0usize; self.dim()];
+        for _ in 0..shots {
+            counts[self.sample(rng) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Expectation value of a real diagonal observable given as per-basis
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 2^n`.
+    pub fn expectation_diagonal(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.dim(), "diagonal length must equal 2^n");
+        self.amplitudes
+            .iter()
+            .zip(values)
+            .map(|(a, &v)| a.norm_sqr() * v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let psi = StateVector::zero_state(3);
+        assert_eq!(psi.dim(), 8);
+        assert_eq!(psi.amplitude(0), Complex::ONE);
+        assert!((psi.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(psi.probability(0), 1.0);
+    }
+
+    #[test]
+    fn basis_state_places_amplitude() {
+        let psi = StateVector::basis_state(2, 0b10);
+        assert_eq!(psi.amplitude(2), Complex::ONE);
+        assert_eq!(psi.amplitude(0), Complex::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn basis_state_rejects_large_index() {
+        let _ = StateVector::basis_state(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_qubits")]
+    fn zero_qubits_rejected() {
+        let _ = StateVector::zero_state(0);
+    }
+
+    #[test]
+    fn uniform_superposition_probabilities() {
+        let psi = StateVector::uniform_superposition(4);
+        for i in 0..16 {
+            assert!((psi.probability(i) - 1.0 / 16.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn from_amplitudes_round_trip() {
+        let amps = vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
+        let psi = StateVector::from_amplitudes(amps);
+        assert_eq!(psi.num_qubits(), 2);
+        assert_eq!(psi, StateVector::zero_state(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_amplitudes_rejects_non_power_of_two() {
+        let _ = StateVector::from_amplitudes(vec![Complex::ONE; 3]);
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut psi = StateVector::from_amplitudes(vec![
+            Complex::new(3.0, 0.0),
+            Complex::new(0.0, 4.0),
+        ]);
+        psi.normalize();
+        assert!((psi.norm() - 1.0).abs() < 1e-15);
+        assert!((psi.probability(0) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_orthogonal_and_self() {
+        let a = StateVector::basis_state(2, 0);
+        let b = StateVector::basis_state(2, 3);
+        assert_eq!(a.inner_product(&b), Complex::ZERO);
+        assert_eq!(a.inner_product(&a), Complex::ONE);
+        assert_eq!(a.fidelity(&b), 0.0);
+        assert_eq!(a.fidelity(&a), 1.0);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let psi = StateVector::uniform_superposition(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let counts = psi.sample_counts(40_000, &mut rng);
+        for &c in &counts {
+            let freq = c as f64 / 40_000.0;
+            assert!((freq - 0.25).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling_on_basis_state() {
+        let psi = StateVector::basis_state(3, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(psi.sample(&mut rng), 5);
+        }
+    }
+
+    #[test]
+    fn expectation_diagonal_uniform() {
+        let psi = StateVector::uniform_superposition(2);
+        let values = [0.0, 1.0, 2.0, 3.0];
+        assert!((psi.expectation_diagonal(&values) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal length")]
+    fn expectation_diagonal_rejects_wrong_length() {
+        let psi = StateVector::uniform_superposition(2);
+        let _ = psi.expectation_diagonal(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the state-vector simulator.
+
+use proptest::prelude::*;
+
+use qsim::diagonal::DiagonalOperator;
+use qsim::{gates, Complex, StateVector};
+
+/// Builds a pseudo-random (but deterministic) non-trivial state by applying a
+/// short layer of parameterized gates to the uniform superposition.
+fn scrambled_state(num_qubits: usize, angles: &[f64]) -> StateVector {
+    let mut psi = StateVector::uniform_superposition(num_qubits);
+    for (i, &a) in angles.iter().enumerate() {
+        let q = i % num_qubits;
+        match i % 3 {
+            0 => gates::rx(&mut psi, q, a),
+            1 => gates::rz(&mut psi, q, a),
+            _ => gates::ry(&mut psi, q, a),
+        }
+    }
+    psi
+}
+
+proptest! {
+    #[test]
+    fn all_gates_preserve_norm(
+        n in 1usize..7,
+        angles in proptest::collection::vec(-6.3f64..6.3, 1..12),
+    ) {
+        let psi = scrambled_state(n, &angles);
+        prop_assert!((psi.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn h_is_self_inverse(
+        n in 1usize..6,
+        q_raw in 0usize..6,
+        angles in proptest::collection::vec(-3.0f64..3.0, 1..6),
+    ) {
+        let q = q_raw % n;
+        let mut psi = scrambled_state(n, &angles);
+        let before = psi.clone();
+        gates::h(&mut psi, q);
+        gates::h(&mut psi, q);
+        prop_assert!((psi.fidelity(&before) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn x_is_self_inverse(
+        n in 1usize..6,
+        q_raw in 0usize..6,
+        angles in proptest::collection::vec(-3.0f64..3.0, 1..6),
+    ) {
+        let q = q_raw % n;
+        let mut psi = scrambled_state(n, &angles);
+        let before = psi.clone();
+        gates::x(&mut psi, q);
+        gates::x(&mut psi, q);
+        prop_assert!((psi.fidelity(&before) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity(
+        n in 1usize..6,
+        q_raw in 0usize..6,
+        angles in proptest::collection::vec(-3.0f64..3.0, 1..6),
+    ) {
+        let q = q_raw % n;
+        let mut psi = scrambled_state(n, &angles);
+        let before = psi.clone();
+        gates::rx(&mut psi, q, 0.0);
+        gates::ry(&mut psi, q, 0.0);
+        gates::rz(&mut psi, q, 0.0);
+        prop_assert!((psi.fidelity(&before) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rx_angles_compose(
+        n in 1usize..5,
+        q_raw in 0usize..5,
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let q = q_raw % n;
+        let mut lhs = StateVector::uniform_superposition(n);
+        let mut rhs = lhs.clone();
+        gates::rx(&mut lhs, q, a);
+        gates::rx(&mut lhs, q, b);
+        gates::rx(&mut rhs, q, a + b);
+        prop_assert!((lhs.fidelity(&rhs) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one(
+        n in 1usize..7,
+        angles in proptest::collection::vec(-6.3f64..6.3, 1..12),
+    ) {
+        let psi = scrambled_state(n, &angles);
+        let total: f64 = psi.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_phase_preserves_expectation(
+        n in 1usize..6,
+        theta in -6.3f64..6.3,
+        angles in proptest::collection::vec(-3.0f64..3.0, 1..8),
+    ) {
+        // e^{-iθD} commutes with D, so ⟨D⟩ is invariant.
+        let op = DiagonalOperator::from_fn(n, |z| z.count_ones() as f64);
+        let mut psi = scrambled_state(n, &angles);
+        let before = op.expectation(&psi);
+        op.apply_phase(&mut psi, theta);
+        prop_assert!((op.expectation(&psi) - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expectation_within_operator_bounds(
+        n in 1usize..6,
+        angles in proptest::collection::vec(-3.0f64..3.0, 1..8),
+    ) {
+        let op = DiagonalOperator::from_fn(n, |z| (z as f64).sin() * 3.0);
+        let psi = scrambled_state(n, &angles);
+        let e = op.expectation(&psi);
+        prop_assert!(e >= op.min_value() - 1e-9);
+        prop_assert!(e <= op.max_value() + 1e-9);
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_symmetric(
+        n in 1usize..5,
+        a1 in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        a2 in proptest::collection::vec(-3.0f64..3.0, 1..6),
+    ) {
+        let x = scrambled_state(n, &a1);
+        let y = scrambled_state(n, &a2);
+        let xy = x.inner_product(&y);
+        let yx = y.inner_product(&x);
+        prop_assert!((xy - yx.conj()).norm() < 1e-10);
+    }
+
+    #[test]
+    fn cauchy_schwarz_fidelity(
+        n in 1usize..5,
+        a1 in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        a2 in proptest::collection::vec(-3.0f64..3.0, 1..6),
+    ) {
+        let x = scrambled_state(n, &a1);
+        let y = scrambled_state(n, &a2);
+        let f = x.fidelity(&y);
+        prop_assert!((-1e-10..=1.0 + 1e-10).contains(&f));
+    }
+
+    #[test]
+    fn complex_field_axioms(
+        ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+        br in -10.0f64..10.0, bi in -10.0f64..10.0,
+        cr in -10.0f64..10.0, ci in -10.0f64..10.0,
+    ) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        let c = Complex::new(cr, ci);
+        prop_assert!(((a * b) * c - a * (b * c)).norm() < 1e-9);
+        prop_assert!((a * (b + c) - (a * b + a * c)).norm() < 1e-9);
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).norm() < 1e-9);
+        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-9);
+    }
+}

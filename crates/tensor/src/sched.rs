@@ -1,0 +1,277 @@
+//! Learning-rate schedulers.
+//!
+//! The paper uses "ReduceLROnPlateau as scheduler to monitor the training
+//! loss and reduces the learning rate when there is no improvements for a
+//! defined number of epochs. In particular, we set scheduler mode to min,
+//! factor to 5, patience to 5 and minimum learning rate to 1e-5" (§4.1).
+//! [`ReduceLrOnPlateau`] reproduces that behavior (interpreting "factor 5"
+//! as dividing the rate by 5, the multiplicative factor 0.2). [`StepLr`] and
+//! [`CosineAnnealing`] support the ablations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::optim::Optimizer;
+
+/// Whether a monitored metric should decrease or increase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlateauMode {
+    /// Improvement means the metric got smaller (loss — the paper's mode).
+    Min,
+    /// Improvement means the metric got larger (accuracy-style).
+    Max,
+}
+
+/// Reduce-on-plateau scheduler: cuts the learning rate by `factor` when the
+/// monitored metric has not improved for `patience` consecutive epochs.
+///
+/// # Example
+///
+/// ```
+/// use tensor::optim::{Adam, Optimizer};
+/// use tensor::sched::{PlateauMode, ReduceLrOnPlateau};
+///
+/// let mut opt = Adam::new(0.01);
+/// let mut sched = ReduceLrOnPlateau::paper_default();
+/// // Stagnant loss for many epochs drives the rate down.
+/// for _ in 0..12 {
+///     sched.step(1.0, &mut opt);
+/// }
+/// assert!(opt.learning_rate() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReduceLrOnPlateau {
+    /// Improvement direction.
+    pub mode: PlateauMode,
+    /// Multiplicative factor applied on plateau (e.g. `0.2` = divide by 5).
+    pub factor: f64,
+    /// Epochs without improvement before reducing.
+    pub patience: usize,
+    /// Lower bound on the learning rate.
+    pub min_lr: f64,
+    best: Option<f64>,
+    bad_epochs: usize,
+}
+
+impl ReduceLrOnPlateau {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor < 1` and `min_lr >= 0`.
+    pub fn new(mode: PlateauMode, factor: f64, patience: usize, min_lr: f64) -> Self {
+        assert!(factor > 0.0 && factor < 1.0, "factor must be in (0, 1)");
+        assert!(min_lr >= 0.0, "min_lr must be non-negative");
+        ReduceLrOnPlateau {
+            mode,
+            factor,
+            patience,
+            min_lr,
+            best: None,
+            bad_epochs: 0,
+        }
+    }
+
+    /// The paper's §4.1 configuration: mode `min`, factor 5 (i.e. ×0.2),
+    /// patience 5, minimum learning rate `1e-5`.
+    pub fn paper_default() -> Self {
+        Self::new(PlateauMode::Min, 0.2, 5, 1e-5)
+    }
+
+    /// Reports one epoch's metric; reduces the optimizer's learning rate if
+    /// the plateau condition fires. Returns `true` when a reduction
+    /// happened.
+    pub fn step<O: Optimizer + ?Sized>(&mut self, metric: f64, optimizer: &mut O) -> bool {
+        let improved = match (self.best, self.mode) {
+            (None, _) => true,
+            (Some(best), PlateauMode::Min) => metric < best,
+            (Some(best), PlateauMode::Max) => metric > best,
+        };
+        if improved {
+            self.best = Some(metric);
+            self.bad_epochs = 0;
+            return false;
+        }
+        self.bad_epochs += 1;
+        if self.bad_epochs > self.patience {
+            let new_lr = (optimizer.learning_rate() * self.factor).max(self.min_lr);
+            let reduced = new_lr < optimizer.learning_rate();
+            optimizer.set_learning_rate(new_lr);
+            self.bad_epochs = 0;
+            return reduced;
+        }
+        false
+    }
+}
+
+/// Step decay: multiply the learning rate by `gamma` every `step_size`
+/// epochs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepLr {
+    /// Epochs between decays.
+    pub step_size: usize,
+    /// Multiplicative decay factor.
+    pub gamma: f64,
+    epoch: usize,
+    base_lr: Option<f64>,
+}
+
+impl StepLr {
+    /// Creates a step scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `step_size >= 1` and `0 < gamma <= 1`.
+    pub fn new(step_size: usize, gamma: f64) -> Self {
+        assert!(step_size >= 1, "step size must be at least 1");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        StepLr {
+            step_size,
+            gamma,
+            epoch: 0,
+            base_lr: None,
+        }
+    }
+
+    /// Advances one epoch and updates the optimizer's learning rate.
+    pub fn step<O: Optimizer + ?Sized>(&mut self, optimizer: &mut O) {
+        let base = *self.base_lr.get_or_insert_with(|| optimizer.learning_rate());
+        self.epoch += 1;
+        let decays = (self.epoch / self.step_size) as i32;
+        optimizer.set_learning_rate(base * self.gamma.powi(decays));
+    }
+}
+
+/// Cosine annealing from the optimizer's initial rate down to `eta_min`
+/// over `t_max` epochs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CosineAnnealing {
+    /// Annealing horizon in epochs.
+    pub t_max: usize,
+    /// Final learning rate.
+    pub eta_min: f64,
+    epoch: usize,
+    base_lr: Option<f64>,
+}
+
+impl CosineAnnealing {
+    /// Creates a cosine-annealing scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t_max >= 1` and `eta_min >= 0`.
+    pub fn new(t_max: usize, eta_min: f64) -> Self {
+        assert!(t_max >= 1, "t_max must be at least 1");
+        assert!(eta_min >= 0.0, "eta_min must be non-negative");
+        CosineAnnealing {
+            t_max,
+            eta_min,
+            epoch: 0,
+            base_lr: None,
+        }
+    }
+
+    /// Advances one epoch and updates the optimizer's learning rate.
+    pub fn step<O: Optimizer + ?Sized>(&mut self, optimizer: &mut O) {
+        let base = *self.base_lr.get_or_insert_with(|| optimizer.learning_rate());
+        self.epoch = (self.epoch + 1).min(self.t_max);
+        let progress = self.epoch as f64 / self.t_max as f64;
+        let lr = self.eta_min
+            + 0.5 * (base - self.eta_min) * (1.0 + (std::f64::consts::PI * progress).cos());
+        optimizer.set_learning_rate(lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn plateau_reduces_after_patience() {
+        let mut opt = Sgd::new(1.0);
+        let mut sched = ReduceLrOnPlateau::new(PlateauMode::Min, 0.2, 2, 1e-5);
+        assert!(!sched.step(1.0, &mut opt)); // sets best
+        assert!(!sched.step(1.0, &mut opt)); // bad 1
+        assert!(!sched.step(1.0, &mut opt)); // bad 2 == patience
+        assert!(sched.step(1.0, &mut opt)); // bad 3 > patience → reduce
+        assert!((opt.learning_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plateau_resets_on_improvement() {
+        let mut opt = Sgd::new(1.0);
+        let mut sched = ReduceLrOnPlateau::new(PlateauMode::Min, 0.5, 1, 1e-5);
+        sched.step(1.0, &mut opt);
+        sched.step(1.0, &mut opt); // bad 1
+        sched.step(0.5, &mut opt); // improvement resets
+        sched.step(0.6, &mut opt); // bad 1
+        assert_eq!(opt.learning_rate(), 1.0); // not yet reduced
+        assert!(sched.step(0.6, &mut opt)); // bad 2 > patience 1 → reduce
+        assert_eq!(opt.learning_rate(), 0.5);
+    }
+
+    #[test]
+    fn plateau_respects_min_lr() {
+        let mut opt = Sgd::new(1e-4);
+        let mut sched = ReduceLrOnPlateau::paper_default();
+        for _ in 0..100 {
+            sched.step(1.0, &mut opt);
+        }
+        assert!((opt.learning_rate() - 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plateau_max_mode() {
+        let mut opt = Sgd::new(1.0);
+        let mut sched = ReduceLrOnPlateau::new(PlateauMode::Max, 0.5, 0, 0.0);
+        sched.step(0.5, &mut opt);
+        assert!(sched.step(0.4, &mut opt)); // worse in max mode → reduce
+        assert_eq!(opt.learning_rate(), 0.5);
+        assert!(!sched.step(0.9, &mut opt)); // improvement
+    }
+
+    #[test]
+    fn paper_default_matches_section_4_1() {
+        let s = ReduceLrOnPlateau::paper_default();
+        assert_eq!(s.mode, PlateauMode::Min);
+        assert!((s.factor - 0.2).abs() < 1e-12);
+        assert_eq!(s.patience, 5);
+        assert!((s.min_lr - 1e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn step_lr_decays_on_schedule() {
+        let mut opt = Sgd::new(1.0);
+        let mut sched = StepLr::new(2, 0.1);
+        sched.step(&mut opt); // epoch 1
+        assert_eq!(opt.learning_rate(), 1.0);
+        sched.step(&mut opt); // epoch 2 → decay once
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-12);
+        sched.step(&mut opt); // epoch 3
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-12);
+        sched.step(&mut opt); // epoch 4 → decay twice
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_hits_eta_min_at_horizon() {
+        let mut opt = Sgd::new(1.0);
+        let mut sched = CosineAnnealing::new(10, 0.001);
+        let mut last = opt.learning_rate();
+        for _ in 0..10 {
+            sched.step(&mut opt);
+            assert!(opt.learning_rate() <= last + 1e-12, "monotone decay");
+            last = opt.learning_rate();
+        }
+        assert!((opt.learning_rate() - 0.001).abs() < 1e-9);
+        // Stays clamped past the horizon.
+        sched.step(&mut opt);
+        assert!((opt.learning_rate() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn bad_factor_rejected() {
+        let _ = ReduceLrOnPlateau::new(PlateauMode::Min, 1.5, 5, 0.0);
+    }
+}

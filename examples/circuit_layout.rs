@@ -1,0 +1,92 @@
+//! Circuit layout: Max-Cut as two-way min-interference placement.
+//!
+//! ```text
+//! cargo run --release --example circuit_layout
+//! ```
+//!
+//! The paper's other motivating domain is circuit layout design: place
+//! cells on two sides of a channel so that nets carrying switching noise
+//! are separated. The netlist is modeled as a grid-plus-shortcut graph with
+//! net weights; a GNN trained on small instances predicts QAOA angles for
+//! the layout instance.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gnn::{GnnKind, GnnModel, ModelConfig};
+use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa_gnn::dataset::{Dataset, LabelConfig};
+use qaoa_gnn::pipeline;
+use qgraph::generate::DatasetSpec;
+use qgraph::{maxcut, Graph};
+
+/// A 3×4 cell grid with two long "critical nets" crossing it.
+fn netlist() -> Result<Graph, qgraph::GraphError> {
+    let mut g = Graph::grid(3, 4)?; // 12 cells, unit-weight adjacent nets
+    g.add_edge(0, 11, 1.0)?; // corner-to-corner critical net
+    g.add_edge(3, 8, 1.0)?; // the other diagonal
+    Ok(g)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let layout = netlist()?;
+    let optimal = maxcut::brute_force(&layout);
+    println!(
+        "netlist: {} cells, {} nets, optimal separation {:.1}",
+        layout.n(),
+        layout.m(),
+        optimal.value
+    );
+
+    // Train GIN (the paper's best performer) on generic labeled graphs —
+    // the model has never seen a grid.
+    println!("training GIN on 80 generic regular graphs...");
+    let dataset = Dataset::generate(
+        &DatasetSpec {
+            count: 80,
+            ..DatasetSpec::default()
+        },
+        &LabelConfig::quick(100),
+        5,
+    )?;
+    let model_config = ModelConfig::default();
+    let model = GnnModel::new(GnnKind::Gin, model_config.clone(), &mut rng);
+    let examples = pipeline::to_examples(&dataset, &model_config);
+    gnn::train::train(
+        &model,
+        &examples,
+        &gnn::train::TrainConfig::quick(25),
+        &mut rng,
+    );
+
+    // Fixed-parameter comparison on the layout instance (§4 setting).
+    let hamiltonian = MaxCutHamiltonian::new(&layout);
+    let circuit = QaoaCircuit::new(hamiltonian.clone());
+    let (gamma, beta) = model.predict(&layout);
+    let gnn_ratio = circuit.approximation_ratio(&Params::new(vec![gamma], vec![beta]));
+
+    let trials = 10;
+    let mut random_sum = 0.0;
+    for _ in 0..trials {
+        random_sum += circuit.approximation_ratio(&Params::random(1, &mut rng));
+    }
+    let random_mean = random_sum / trials as f64;
+
+    println!("\nfixed-parameter QAOA on the layout instance:");
+    println!("  GIN-predicted (γ={gamma:.3}, β={beta:.3}) AR: {gnn_ratio:.3}");
+    println!("  random initialization AR (mean of {trials}): {random_mean:.3}");
+    println!(
+        "  improvement: {:+.1} percentage points",
+        (gnn_ratio - random_mean) * 100.0
+    );
+
+    // Show the best placement QAOA sampling would report.
+    let params = Params::new(vec![gamma], vec![beta]);
+    let best_sampled = circuit.best_sampled_cut(&params, 256, &mut rng);
+    println!(
+        "  best of 256 sampled placements: {:.1} / {:.1} optimal",
+        best_sampled, optimal.value
+    );
+    Ok(())
+}

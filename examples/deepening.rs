@@ -1,0 +1,57 @@
+//! INTERP deepening: from a predicted p=1 start to a p=4 schedule.
+//!
+//! ```text
+//! cargo run --release --example deepening
+//! ```
+//!
+//! The paper predicts p=1 angles and lists deeper circuits as future work.
+//! This example shows the natural composition: take the fixed-angle p=1
+//! start (a stand-in for the GNN prediction), optimize, then repeatedly
+//! INTERP-extend and re-optimize — the approximation ratio climbs with
+//! depth while every level starts warm.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qaoa::interp;
+use qaoa::optimize::NelderMead;
+use qaoa::{fixed_angle, MaxCutHamiltonian};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2025);
+    let graph = qgraph::generate::random_regular(12, 3, &mut rng)?;
+    let hamiltonian = MaxCutHamiltonian::new(&graph);
+    println!(
+        "instance: 3-regular, 12 nodes, optimal cut {}",
+        hamiltonian.optimal_value()
+    );
+
+    let start = fixed_angle::fixed_angles(3).params;
+    println!(
+        "p=1 warm start: γ={:.3}, β={:.3}",
+        start.gammas()[0],
+        start.betas()[0]
+    );
+
+    let outcomes = interp::deepen(&hamiltonian, start, 4, &NelderMead::new(200), &mut rng);
+    println!("\ndepth  initial AR  final AR  evaluations");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        println!(
+            "{:>5}  {:>10.4}  {:>8.4}  {:>11}",
+            i + 1,
+            outcome.initial_ratio,
+            outcome.final_ratio,
+            outcome.evaluations
+        );
+    }
+    let last = outcomes.last().expect("at least one depth");
+    println!(
+        "\nfinal p=4 schedule: γ = {:?}",
+        last.final_params
+            .gammas()
+            .iter()
+            .map(|g| (g * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}
