@@ -1,50 +1,47 @@
-//! Criterion benchmarks for graph generation and exact Max-Cut — the
+//! Micro-benchmarks for graph generation and exact Max-Cut — the
 //! remaining fixed costs of building the labeled dataset.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qbench::Bench;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qgraph::{generate, maxcut};
 
-fn bench_random_regular(c: &mut Criterion) {
-    let mut group = c.benchmark_group("random_regular_n15");
+fn bench_random_regular(bench: &mut Bench) {
     for degree in [2usize, 4, 8, 14] {
-        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &d| {
-            let mut rng = StdRng::seed_from_u64(31);
-            b.iter(|| {
-                // n*d parity: 15 only works with even degrees; bump to 16.
-                let n = if (15 * d) % 2 == 0 { 15 } else { 16 };
-                generate::random_regular(n, d, &mut rng).expect("feasible shape")
-            });
+        let mut rng = StdRng::seed_from_u64(31);
+        bench.bench_with_input("random_regular_n15", degree, move || {
+            // n*d parity: 15 only works with even degrees; bump to 16.
+            let n = if (15 * degree) % 2 == 0 { 15 } else { 16 };
+            generate::random_regular(n, degree, &mut rng).expect("feasible shape")
         });
     }
-    group.finish();
 }
 
-fn bench_brute_force_maxcut(c: &mut Criterion) {
-    let mut group = c.benchmark_group("brute_force_maxcut");
-    group.sample_size(10);
+fn bench_brute_force_maxcut(bench: &mut Bench) {
+    bench.sample_size(10);
     for nodes in [10usize, 13, 15] {
         let mut rng = StdRng::seed_from_u64(32);
         let graph = generate::erdos_renyi(nodes, 0.4, &mut rng).expect("valid p");
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
-            b.iter(|| maxcut::brute_force(&graph));
+        bench.bench_with_input("brute_force_maxcut", nodes, move || {
+            maxcut::brute_force(&graph)
         });
     }
-    group.finish();
 }
 
-fn bench_heuristics(c: &mut Criterion) {
+fn bench_heuristics(bench: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(33);
     let graph = generate::erdos_renyi(15, 0.4, &mut rng).expect("valid p");
-    let mut group = c.benchmark_group("maxcut_heuristics_n15");
-    group.bench_function("greedy", |b| b.iter(|| maxcut::greedy(&graph)));
-    group.bench_function("local_search", |b| {
-        b.iter(|| maxcut::local_search(&graph, vec![false; 15]))
+    bench.bench("maxcut_heuristics_n15/greedy", || maxcut::greedy(&graph));
+    bench.bench("maxcut_heuristics_n15/local_search", || {
+        maxcut::local_search(&graph, vec![false; 15])
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_random_regular, bench_brute_force_maxcut, bench_heuristics);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_env();
+    bench_random_regular(&mut bench);
+    bench_brute_force_maxcut(&mut bench);
+    bench_heuristics(&mut bench);
+    bench.finish();
+}

@@ -1,9 +1,9 @@
-//! Criterion benchmarks of GNN inference and training steps for all four
+//! Micro-benchmarks of GNN inference and training steps for all four
 //! architectures — the per-example cost of the §4.1 training loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qbench::Bench;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::{GnnKind, GnnModel, GraphContext, ModelConfig};
 use tensor::optim::{Adam, Optimizer};
@@ -15,51 +15,36 @@ fn context() -> GraphContext {
     GraphContext::new(&graph, &ModelConfig::default().features, 0.0)
 }
 
-fn bench_predict(c: &mut Criterion) {
+fn bench_predict(bench: &mut Bench) {
     let ctx = context();
-    let mut group = c.benchmark_group("gnn_predict_n12");
     for kind in GnnKind::ALL {
         let mut rng = StdRng::seed_from_u64(22);
         let model = GnnModel::new(kind, ModelConfig::default(), &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.to_string()),
-            &kind,
-            |b, _| {
-                b.iter(|| model.predict_ctx(&ctx));
-            },
-        );
+        let ctx = &ctx;
+        bench.bench_with_input("gnn_predict_n12", kind, move || model.predict_ctx(ctx));
     }
-    group.finish();
 }
 
-fn bench_train_step(c: &mut Criterion) {
+fn bench_train_step(bench: &mut Bench) {
     let ctx = context();
     let target = Matrix::row_vector(&[0.3, 0.7]);
-    let mut group = c.benchmark_group("gnn_train_step_n12");
     for kind in GnnKind::ALL {
         let mut rng = StdRng::seed_from_u64(23);
         let model = GnnModel::new(kind, ModelConfig::default(), &mut rng);
         let mut optimizer = Adam::new(0.01);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.to_string()),
-            &kind,
-            |b, _| {
-                b.iter(|| {
-                    model.tape().reset();
-                    let out = model.forward(&ctx, &mut rng);
-                    let loss = out.mse(&target);
-                    model.tape().backward(&loss);
-                    optimizer.step(model.parameters());
-                });
-            },
-        );
+        let (ctx, target) = (&ctx, &target);
+        bench.bench_with_input("gnn_train_step_n12", kind, move || {
+            model.tape().reset();
+            let out = model.forward(ctx, &mut rng);
+            let loss = out.mse(target);
+            model.tape().backward(&loss);
+            optimizer.step(model.parameters());
+        });
     }
-    group.finish();
 }
 
-fn bench_hidden_dim_scaling(c: &mut Criterion) {
+fn bench_hidden_dim_scaling(bench: &mut Bench) {
     let ctx = context();
-    let mut group = c.benchmark_group("gin_predict_by_width");
     for hidden in [16usize, 32, 64, 128] {
         let mut rng = StdRng::seed_from_u64(24);
         let model = GnnModel::new(
@@ -70,12 +55,17 @@ fn bench_hidden_dim_scaling(c: &mut Criterion) {
             },
             &mut rng,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, _| {
-            b.iter(|| model.predict_ctx(&ctx));
+        let ctx = &ctx;
+        bench.bench_with_input("gin_predict_by_width", hidden, move || {
+            model.predict_ctx(ctx)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_predict, bench_train_step, bench_hidden_dim_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_env();
+    bench_predict(&mut bench);
+    bench_train_step(&mut bench);
+    bench_hidden_dim_scaling(&mut bench);
+    bench.finish();
+}

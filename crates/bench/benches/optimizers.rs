@@ -1,10 +1,10 @@
-//! Criterion benchmarks of the classical outer-loop optimizers — the cost
+//! Micro-benchmarks of the classical outer-loop optimizers — the cost
 //! of labeling one dataset entry (§3.1 does this 9598 times at 500
 //! iterations each).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qbench::Bench;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa::optimize::{FiniteDiffAdam, GridSearch, Maximizer, NelderMead, Spsa};
 use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
@@ -19,54 +19,45 @@ fn labeled_objective() -> impl Fn(&[f64]) -> f64 {
     }
 }
 
-fn bench_optimizers_50_iters(c: &mut Criterion) {
+fn bench_optimizers_50_iters(bench: &mut Bench) {
     let objective = labeled_objective();
     let start = [0.3, 0.2];
-    let mut group = c.benchmark_group("optimize_50_iters_n10");
-    group.sample_size(10);
+    bench.sample_size(10);
 
-    group.bench_function("nelder_mead", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            NelderMead::new(50).maximize(&objective, &start, &mut rng)
-        });
+    bench.bench("optimize_50_iters_n10/nelder_mead", || {
+        let mut rng = StdRng::seed_from_u64(1);
+        NelderMead::new(50).maximize(&objective, &start, &mut rng)
     });
-    group.bench_function("spsa", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            Spsa::new(50).maximize(&objective, &start, &mut rng)
-        });
+    bench.bench("optimize_50_iters_n10/spsa", || {
+        let mut rng = StdRng::seed_from_u64(1);
+        Spsa::new(50).maximize(&objective, &start, &mut rng)
     });
-    group.bench_function("finite_diff_adam", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            FiniteDiffAdam::new(50).maximize(&objective, &start, &mut rng)
-        });
+    bench.bench("optimize_50_iters_n10/finite_diff_adam", || {
+        let mut rng = StdRng::seed_from_u64(1);
+        FiniteDiffAdam::new(50).maximize(&objective, &start, &mut rng)
     });
-    group.bench_function("grid_32x32", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            GridSearch { resolution: 32 }.maximize(&objective, &start, &mut rng)
-        });
+    bench.bench("optimize_50_iters_n10/grid_32x32", || {
+        let mut rng = StdRng::seed_from_u64(1);
+        GridSearch { resolution: 32 }.maximize(&objective, &start, &mut rng)
     });
-    group.finish();
 }
 
-fn bench_labeling_budget(c: &mut Criterion) {
+fn bench_labeling_budget(bench: &mut Bench) {
     // Full paper budget (500 Nelder–Mead iterations) on one mid-size graph.
     let objective = labeled_objective();
-    let mut group = c.benchmark_group("label_one_graph");
-    group.sample_size(10);
+    bench.sample_size(10);
     for iters in [100usize, 500] {
-        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(2);
-                NelderMead::new(iters).maximize(&objective, &[0.3, 0.2], &mut rng)
-            });
+        let objective = &objective;
+        bench.bench_with_input("label_one_graph", iters, move || {
+            let mut rng = StdRng::seed_from_u64(2);
+            NelderMead::new(iters).maximize(objective, &[0.3, 0.2], &mut rng)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_optimizers_50_iters, bench_labeling_budget);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_env();
+    bench_optimizers_50_iters(&mut bench);
+    bench_labeling_budget(&mut bench);
+    bench.finish();
+}

@@ -1,78 +1,68 @@
-//! Criterion micro-benchmarks for the state-vector simulator: the inner
-//! loop of dataset labeling. One QAOA objective evaluation is a diagonal
-//! phase pass plus an RX layer per depth.
+//! Micro-benchmarks for the state-vector simulator: the inner loop of
+//! dataset labeling. One QAOA objective evaluation is a diagonal phase
+//! pass plus an RX layer per depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qbench::Bench;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
 use qsim::diagonal::DiagonalOperator;
 use qsim::{gates, StateVector};
 
-fn bench_hadamard_layer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("h_all");
+fn bench_hadamard_layer(bench: &mut Bench) {
     for qubits in [8usize, 12, 15] {
-        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, &n| {
-            b.iter(|| {
-                let mut psi = StateVector::zero_state(n);
-                gates::h_all(&mut psi);
-                psi.amplitude(0)
-            });
+        bench.bench_with_input("h_all", qubits, move || {
+            let mut psi = StateVector::zero_state(qubits);
+            gates::h_all(&mut psi);
+            psi.amplitude(0)
         });
     }
-    group.finish();
 }
 
-fn bench_diagonal_phase(c: &mut Criterion) {
-    let mut group = c.benchmark_group("diagonal_phase");
+fn bench_diagonal_phase(bench: &mut Bench) {
     for qubits in [8usize, 12, 15] {
         let op = DiagonalOperator::from_fn(qubits, |z| z.count_ones() as f64);
-        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, &n| {
-            let mut psi = StateVector::uniform_superposition(n);
-            b.iter(|| {
-                op.apply_phase(&mut psi, 0.137);
-                psi.amplitude(0)
-            });
+        let mut psi = StateVector::uniform_superposition(qubits);
+        bench.bench_with_input("diagonal_phase", qubits, move || {
+            op.apply_phase(&mut psi, 0.137);
+            psi.amplitude(0)
         });
     }
-    group.finish();
 }
 
-fn bench_qaoa_expectation(c: &mut Criterion) {
+fn bench_qaoa_expectation(bench: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(1);
-    let mut group = c.benchmark_group("qaoa_expectation_p1");
-    for nodes in [8usize, 12, 15] {
+    // n·d must be even for a d-regular graph to exist, so cap at 14 nodes.
+    for nodes in [8usize, 12, 14] {
         let graph = qgraph::generate::random_regular(nodes, 3, &mut rng)
             .expect("feasible shape");
         let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&graph));
         let params = Params::new(vec![0.7], vec![0.3]);
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
-            b.iter(|| circuit.expectation(&params));
+        bench.bench_with_input("qaoa_expectation_p1", nodes, move || {
+            circuit.expectation(&params)
         });
     }
-    group.finish();
 }
 
-fn bench_qaoa_depth_scaling(c: &mut Criterion) {
+fn bench_qaoa_depth_scaling(bench: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(2);
     let graph = qgraph::generate::random_regular(12, 3, &mut rng).expect("feasible shape");
     let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&graph));
-    let mut group = c.benchmark_group("qaoa_expectation_depth");
     for depth in [1usize, 2, 4, 8] {
         let params = Params::new(vec![0.5; depth], vec![0.2; depth]);
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| circuit.expectation(&params));
+        let circuit = &circuit;
+        bench.bench_with_input("qaoa_expectation_depth", depth, move || {
+            circuit.expectation(&params)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hadamard_layer,
-    bench_diagonal_phase,
-    bench_qaoa_expectation,
-    bench_qaoa_depth_scaling
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_env();
+    bench_hadamard_layer(&mut bench);
+    bench_diagonal_phase(&mut bench);
+    bench_qaoa_expectation(&mut bench);
+    bench_qaoa_depth_scaling(&mut bench);
+    bench.finish();
+}

@@ -4,8 +4,8 @@
 //! choice affects test regression error and downstream AR improvement for
 //! the best-performing architecture (GIN).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::{GnnKind, ModelConfig};
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};

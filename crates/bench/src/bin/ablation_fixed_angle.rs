@@ -6,8 +6,8 @@
 //! 2. Dataset coverage: what fraction of a paper-shaped dataset is eligible
 //!    (the paper found ~6%) and how much augmentation moves mean quality.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa::fixed_angle;
 use qaoa::optimize::NelderMead;

@@ -6,8 +6,8 @@
 //! (trajectory method) and compares fixed-angle initialization against the
 //! average random initialization across noise rates.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa::{fixed_angle, MaxCutHamiltonian, Params};
 use qaoa_gnn_bench::{f4, print_table, write_csv};

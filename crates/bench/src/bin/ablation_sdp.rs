@@ -4,8 +4,8 @@
 //! the training split, retrains a GIN and reports surviving dataset size,
 //! mean label quality, test MSE and the Table-1-style improvement.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::GnnKind;
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};

@@ -7,8 +7,8 @@
 //! same test graphs, and also train a second GIN directly on weighted
 //! labels to show how much of the gap is recoverable.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::GnnKind;
 use qaoa_gnn::dataset::Dataset;

@@ -3,8 +3,8 @@
 //! Regenerates the two histograms of §3.1 from the same generator the
 //! labeling pipeline uses.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa_gnn::pipeline::PipelineConfig;
 use qaoa_gnn_bench::{f4, print_table, write_csv};

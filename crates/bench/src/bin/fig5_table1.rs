@@ -6,8 +6,8 @@
 //! fixed-parameter setting. Per-graph AR series (Fig. 5) land in one CSV per
 //! architecture; the improvement summary (Table 1) is printed and saved.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::GnnKind;
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};

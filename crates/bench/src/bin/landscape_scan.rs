@@ -8,8 +8,8 @@
 //! optimum — i.e. the probability that a uniform random start hill-climbs
 //! to the top.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa::landscape::Landscape;
 use qaoa::MaxCutHamiltonian;

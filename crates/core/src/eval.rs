@@ -9,8 +9,7 @@
 //! optionally adds a post-initialization optimization budget to study the
 //! warm-start convergence claim of §2.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 use gnn::GnnModel;
 use qaoa::optimize::NelderMead;
@@ -20,7 +19,7 @@ use qgraph::stats::mean_std;
 use qgraph::Graph;
 
 /// Evaluation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalConfig {
     /// Optimizer iterations spent *after* initialization. 0 reproduces the
     /// paper's fixed-parameter setting (Fig. 5 / Table 1).
@@ -39,7 +38,7 @@ impl Default for EvalConfig {
 }
 
 /// Per-test-graph comparison — one point of Figure 5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphComparison {
     /// Number of nodes.
     pub nodes: usize,
@@ -61,7 +60,7 @@ impl GraphComparison {
 
 /// Aggregated results over a test set — the data behind Figure 5 and one
 /// column of Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaluationReport {
     /// Per-graph comparisons in test-set order.
     pub per_graph: Vec<GraphComparison>,
@@ -181,8 +180,8 @@ pub fn evaluate_model<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use gnn::{GnnKind, ModelConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     fn comparison(random: f64, gnn: f64) -> GraphComparison {
         GraphComparison {

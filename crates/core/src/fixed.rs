@@ -7,14 +7,13 @@
 //! improve its approximation ratio — mirroring how the paper used the
 //! JPMorgan lookup on "about 6% of our dataset".
 
-use serde::{Deserialize, Serialize};
 
 use qaoa::{fixed_angle, MaxCutHamiltonian, QaoaCircuit};
 
 use crate::dataset::Dataset;
 
 /// Statistics of one augmentation pass.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FixedAngleStats {
     /// Entries whose graph is regular with degree in the lookup range.
     pub eligible: usize,
@@ -77,8 +76,8 @@ mod tests {
     use crate::dataset::LabeledGraph;
     use qaoa::Params;
     use qgraph::Graph;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     fn poor_label(graph: Graph) -> LabeledGraph {
         // Zero angles: AR = (W/2) / opt, deliberately bad.

@@ -1,0 +1,891 @@
+//! Hand-rolled JSON encoding and decoding for persisted configurations and
+//! reports.
+//!
+//! The workspace is hermetic (no external crates), so the serialization the
+//! experiment binaries need — saving a [`PipelineConfig`] next to a run,
+//! emitting an [`EvaluationReport`] for plotting — is implemented here
+//! directly: a small [`Json`] value tree, a recursive-descent parser, a
+//! writer, and [`ToJson`]/[`FromJson`] impls for every persisted struct.
+//!
+//! Numbers are kept as parsed ([`Number::U64`]/[`Number::I64`]/
+//! [`Number::F64`]) so 64-bit seeds survive a round trip exactly; floats are
+//! written with Rust's shortest-round-trip `{:?}` formatting.
+
+use gnn::train::TrainConfig;
+use gnn::{ModelConfig, Readout};
+use qgraph::features::FeatureConfig;
+use qgraph::generate::DatasetSpec;
+
+use crate::dataset::LabelConfig;
+use crate::eval::{EvalConfig, EvaluationReport, GraphComparison};
+use crate::pipeline::PipelineConfig;
+use crate::sdp::SdpConfig;
+
+/// A JSON numeric value, preserving the lexical class it was parsed from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer without fraction or exponent.
+    U64(u64),
+    /// Negative integer without fraction or exponent.
+    I64(i64),
+    /// Anything with a fraction or exponent.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as a float (lossy for integers beyond 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+}
+
+/// A JSON value tree. Object keys keep insertion order so output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key–value list.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Errors from [`Json::parse`] or [`FromJson`] decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Json {
+    /// Convenience constructor for integer-valued numbers.
+    pub fn uint(v: u64) -> Json {
+        Json::Num(Number::U64(v))
+    }
+
+    /// Convenience constructor for float-valued numbers.
+    pub fn float(v: f64) -> Json {
+        Json::Num(Number::F64(v))
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(n) => Ok(n.as_f64()),
+            other => err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    /// The value as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::Num(Number::U64(v)) => Ok(*v),
+            other => err(format!("expected unsigned integer, found {other:?}")),
+        }
+    }
+
+    /// The value as `usize`, if a non-negative integer that fits.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        let v = self.as_u64()?;
+        usize::try_from(v).map_err(|_| JsonError(format!("{v} does not fit in usize")))
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, found {other:?}")),
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(format!("expected string, found {other:?}")),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => err(format!("expected array, found {other:?}")),
+        }
+    }
+
+    /// The value as an object's key–value list.
+    pub fn as_obj(&self) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => err(format!("expected object, found {other:?}")),
+        }
+    }
+
+    /// Looks up a required object field.
+    pub fn get(&self, key: &str) -> Result<&Json, JsonError> {
+        let fields = self.as_obj()?;
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonError(format!("missing field '{key}'")))
+    }
+
+    /// Looks up an optional object field (`None` when absent or `null`).
+    pub fn get_opt(&self, key: &str) -> Result<Option<&Json>, JsonError> {
+        let fields = self.as_obj()?;
+        Ok(fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .filter(|v| !matches!(v, Json::Null)))
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Accepts the standard grammar (objects, arrays, strings with escapes,
+    /// numbers, booleans, null); rejects trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(Number::U64(v)) => out.push_str(&v.to_string()),
+            Json::Num(Number::I64(v)) => out.push_str(&v.to_string()),
+            Json::Num(Number::F64(v)) => write_f64(out, *v),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, depth + 1);
+                    write_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                if !fields.is_empty() {
+                    newline(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// Writes a float with shortest-round-trip formatting; non-finite values
+/// (which JSON cannot represent) become `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest representation that parses back exactly.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain bytes, then handle the interesting one.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError("invalid utf-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| JsonError("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError("bad codepoint".into()))?,
+                            );
+                        }
+                        other => {
+                            return err(format!("unknown escape '\\{}'", other as char))
+                        }
+                    }
+                }
+                _ => return err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii");
+        let number = if is_float {
+            Number::F64(
+                text.parse::<f64>()
+                    .map_err(|_| JsonError(format!("bad number '{text}'")))?,
+            )
+        } else if let Some(rest) = text.strip_prefix('-') {
+            let _ = rest;
+            Number::I64(
+                text.parse::<i64>()
+                    .map_err(|_| JsonError(format!("bad integer '{text}'")))?,
+            )
+        } else {
+            Number::U64(
+                text.parse::<u64>()
+                    .map_err(|_| JsonError(format!("bad integer '{text}'")))?,
+            )
+        };
+        Ok(Json::Num(number))
+    }
+}
+
+/// Converts a value to its JSON representation.
+pub trait ToJson {
+    /// Builds the JSON tree for this value.
+    fn to_json(&self) -> Json;
+}
+
+/// Reconstructs a value from its JSON representation.
+pub trait FromJson: Sized {
+    /// Decodes the value; unknown fields are ignored, missing ones error.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+impl ToJson for LabelConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("depth", Json::uint(self.depth as u64)),
+            ("iterations", Json::uint(self.iterations as u64)),
+            ("threads", Json::uint(self.threads as u64)),
+        ])
+    }
+}
+
+impl FromJson for LabelConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(LabelConfig {
+            depth: json.get("depth")?.as_usize()?,
+            iterations: json.get("iterations")?.as_usize()?,
+            threads: json.get("threads")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for DatasetSpec {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("count", Json::uint(self.count as u64)),
+            ("min_nodes", Json::uint(self.min_nodes as u64)),
+            ("max_nodes", Json::uint(self.max_nodes as u64)),
+            ("min_degree", Json::uint(self.min_degree as u64)),
+            ("max_degree", Json::uint(self.max_degree as u64)),
+        ])
+    }
+}
+
+impl FromJson for DatasetSpec {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(DatasetSpec {
+            count: json.get("count")?.as_usize()?,
+            min_nodes: json.get("min_nodes")?.as_usize()?,
+            max_nodes: json.get("max_nodes")?.as_usize()?,
+            min_degree: json.get("min_degree")?.as_usize()?,
+            max_degree: json.get("max_degree")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for SdpConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("threshold", Json::float(self.threshold)),
+            ("selective_rate", Json::float(self.selective_rate)),
+        ])
+    }
+}
+
+impl FromJson for SdpConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let threshold = json.get("threshold")?.as_f64()?;
+        let selective_rate = json.get("selective_rate")?.as_f64()?;
+        if !(0.0..=1.0).contains(&threshold) || !(0.0..=1.0).contains(&selective_rate) {
+            return err("SdpConfig values must be in [0, 1]");
+        }
+        Ok(SdpConfig::new(threshold, selective_rate))
+    }
+}
+
+impl ToJson for FeatureConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("one_hot_dim", Json::uint(self.one_hot_dim as u64)),
+            ("include_degree", Json::Bool(self.include_degree)),
+        ])
+    }
+}
+
+impl FromJson for FeatureConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(FeatureConfig {
+            one_hot_dim: json.get("one_hot_dim")?.as_usize()?,
+            include_degree: json.get("include_degree")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for Readout {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Readout::Mean => "mean",
+                Readout::Sum => "sum",
+                Readout::Max => "max",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Readout {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str()? {
+            "mean" => Ok(Readout::Mean),
+            "sum" => Ok(Readout::Sum),
+            "max" => Ok(Readout::Max),
+            other => err(format!("unknown readout '{other}'")),
+        }
+    }
+}
+
+impl ToJson for ModelConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("features", self.features.to_json()),
+            ("hidden_dim", Json::uint(self.hidden_dim as u64)),
+            ("layers", Json::uint(self.layers as u64)),
+            ("dropout", Json::float(self.dropout)),
+            ("leaky_slope", Json::float(self.leaky_slope)),
+            ("gin_eps", Json::float(self.gin_eps)),
+            ("readout", self.readout.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ModelConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ModelConfig {
+            features: FeatureConfig::from_json(json.get("features")?)?,
+            hidden_dim: json.get("hidden_dim")?.as_usize()?,
+            layers: json.get("layers")?.as_usize()?,
+            dropout: json.get("dropout")?.as_f64()?,
+            leaky_slope: json.get("leaky_slope")?.as_f64()?,
+            gin_eps: json.get("gin_eps")?.as_f64()?,
+            readout: Readout::from_json(json.get("readout")?)?,
+        })
+    }
+}
+
+impl ToJson for TrainConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("epochs", Json::uint(self.epochs as u64)),
+            ("learning_rate", Json::float(self.learning_rate)),
+            ("shuffle", Json::Bool(self.shuffle)),
+        ])
+    }
+}
+
+impl FromJson for TrainConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TrainConfig {
+            epochs: json.get("epochs")?.as_usize()?,
+            learning_rate: json.get("learning_rate")?.as_f64()?,
+            shuffle: json.get("shuffle")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for EvalConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "refine_iterations",
+                Json::uint(self.refine_iterations as u64),
+            ),
+            ("depth", Json::uint(self.depth as u64)),
+        ])
+    }
+}
+
+impl FromJson for EvalConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(EvalConfig {
+            refine_iterations: json.get("refine_iterations")?.as_usize()?,
+            depth: json.get("depth")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for PipelineConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("dataset", self.dataset.to_json()),
+            ("labeling", self.labeling.to_json()),
+            (
+                "sdp",
+                self.sdp.as_ref().map_or(Json::Null, SdpConfig::to_json),
+            ),
+            ("fixed_angles", Json::Bool(self.fixed_angles)),
+            ("model", self.model.to_json()),
+            ("training", self.training.to_json()),
+            ("test_size", Json::uint(self.test_size as u64)),
+            ("eval", self.eval.to_json()),
+            ("seed", Json::uint(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for PipelineConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(PipelineConfig {
+            dataset: DatasetSpec::from_json(json.get("dataset")?)?,
+            labeling: LabelConfig::from_json(json.get("labeling")?)?,
+            sdp: json
+                .get_opt("sdp")?
+                .map(SdpConfig::from_json)
+                .transpose()?,
+            fixed_angles: json.get("fixed_angles")?.as_bool()?,
+            model: ModelConfig::from_json(json.get("model")?)?,
+            training: TrainConfig::from_json(json.get("training")?)?,
+            test_size: json.get("test_size")?.as_usize()?,
+            eval: EvalConfig::from_json(json.get("eval")?)?,
+            seed: json.get("seed")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for GraphComparison {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("nodes", Json::uint(self.nodes as u64)),
+            ("degree", Json::uint(self.degree as u64)),
+            ("random_ratio", Json::float(self.random_ratio)),
+            ("gnn_ratio", Json::float(self.gnn_ratio)),
+        ])
+    }
+}
+
+impl FromJson for GraphComparison {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(GraphComparison {
+            nodes: json.get("nodes")?.as_usize()?,
+            degree: json.get("degree")?.as_usize()?,
+            random_ratio: json.get("random_ratio")?.as_f64()?,
+            gnn_ratio: json.get("gnn_ratio")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for EvaluationReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "per_graph",
+                Json::Arr(self.per_graph.iter().map(ToJson::to_json).collect()),
+            ),
+            ("mean_improvement", Json::float(self.mean_improvement)),
+            ("std_improvement", Json::float(self.std_improvement)),
+            ("mean_random_ratio", Json::float(self.mean_random_ratio)),
+            ("mean_gnn_ratio", Json::float(self.mean_gnn_ratio)),
+        ])
+    }
+}
+
+impl FromJson for EvaluationReport {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(EvaluationReport {
+            per_graph: json
+                .get("per_graph")?
+                .as_arr()?
+                .iter()
+                .map(GraphComparison::from_json)
+                .collect::<Result<_, _>>()?,
+            mean_improvement: json.get("mean_improvement")?.as_f64()?,
+            std_improvement: json.get("std_improvement")?.as_f64()?,
+            mean_random_ratio: json.get("mean_random_ratio")?.as_f64()?,
+            mean_gnn_ratio: json.get("mean_gnn_ratio")?.as_f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(value: &T) {
+        for text in [value.to_json().to_compact(), value.to_json().to_pretty()] {
+            let parsed = Json::parse(&text).expect("parse back");
+            let decoded = T::from_json(&parsed).expect("decode back");
+            assert_eq!(&decoded, value, "round trip through: {text}");
+        }
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::uint(42));
+        assert_eq!(
+            Json::parse("-17").unwrap(),
+            Json::Num(Number::I64(-17))
+        );
+        assert_eq!(Json::parse("2.5e3").unwrap(), Json::float(2500.0));
+        assert_eq!(
+            Json::parse("\"hi\"").unwrap(),
+            Json::Str("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_structures_and_escapes() {
+        let v = Json::parse(r#"{"a": [1, 2.0, "x\nyA"], "b": {}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_str().unwrap(),
+            "x\nyA"
+        );
+        assert_eq!(v.get("b").unwrap().as_obj().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "[1,", "tru", "\"open", "1 2", "{\"a\":}", ""] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn u64_seed_survives_exactly() {
+        // Beyond 2^53: would be corrupted by a float-only number type.
+        let seed = u64::MAX - 1;
+        let text = Json::uint(seed).to_compact();
+        assert_eq!(Json::parse(&text).unwrap().as_u64().unwrap(), seed);
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        for v in [0.1, 1.0 / 3.0, 0.7f64.ln(), f64::MIN_POSITIVE, 1e300] {
+            let text = Json::float(v).to_compact();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back, v, "{text}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "tab\there \"quoted\" back\\slash\nnew\u{1}line";
+        let text = Json::Str(s.to_string()).to_compact();
+        assert_eq!(Json::parse(&text).unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn configs_round_trip() {
+        round_trip(&LabelConfig::default());
+        round_trip(&DatasetSpec::default());
+        round_trip(&SdpConfig::paper_default());
+        round_trip(&ModelConfig::default());
+        round_trip(&TrainConfig::default());
+        round_trip(&EvalConfig::default());
+        round_trip(&PipelineConfig::paper_scale());
+        round_trip(&PipelineConfig {
+            sdp: None,
+            seed: u64::MAX,
+            ..PipelineConfig::quick()
+        });
+    }
+
+    #[test]
+    fn readout_variants_round_trip() {
+        for r in [Readout::Mean, Readout::Sum, Readout::Max] {
+            round_trip(&r);
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = EvaluationReport::from_comparisons(vec![
+            GraphComparison {
+                nodes: 8,
+                degree: 3,
+                random_ratio: 0.61,
+                gnn_ratio: 0.87,
+            },
+            GraphComparison {
+                nodes: 12,
+                degree: 4,
+                random_ratio: 0.7,
+                gnn_ratio: 0.66,
+            },
+        ]);
+        round_trip(&report);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let text = r#"{"depth": 1, "iterations": 80, "threads": 2, "future": true}"#;
+        let cfg = LabelConfig::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(cfg.iterations, 80);
+    }
+
+    #[test]
+    fn missing_field_reports_its_name() {
+        let text = r#"{"depth": 1}"#;
+        let e = LabelConfig::from_json(&Json::parse(text).unwrap()).unwrap_err();
+        assert!(e.0.contains("iterations"), "{e}");
+    }
+}

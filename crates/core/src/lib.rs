@@ -9,7 +9,8 @@
 //!
 //! 1. [`dataset`] — generate synthetic regular graphs (2–15 nodes) and label
 //!    each by running QAOA from random initialization for a fixed iteration
-//!    budget (§3.1). Labeling parallelizes across graphs with crossbeam.
+//!    budget (§3.1). Labeling parallelizes across graphs with scoped
+//!    `std::thread` workers.
 //! 2. [`sdp`] — Selective Data Pruning: drop (a tunable fraction of)
 //!    low-approximation-ratio labels that would misdirect training (§3.3).
 //! 3. [`fixed`] — fixed-angle augmentation for regular graphs of degrees
@@ -23,9 +24,9 @@
 //! ```no_run
 //! use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
 //! use gnn::GnnKind;
-//! use rand::SeedableRng;
+//! use qrand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = qrand::rngs::StdRng::seed_from_u64(7);
 //! let config = PipelineConfig::quick(); // CI-sized; `paper_scale()` for full
 //! let pipeline = Pipeline::run(GnnKind::Gin, &config, &mut rng);
 //! println!("mean AR improvement: {:.2} pts", pipeline.report.mean_improvement);
@@ -37,10 +38,12 @@
 pub mod dataset;
 pub mod eval;
 pub mod fixed;
+pub mod json;
 pub mod pipeline;
 pub mod sdp;
 pub mod store;
 
 pub use dataset::{Dataset, LabeledGraph};
 pub use eval::{EvaluationReport, GraphComparison};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pipeline::{Pipeline, PipelineConfig};

@@ -1,8 +1,7 @@
 //! The end-to-end pipeline: generate → label → prune → augment → train →
 //! evaluate, reproducing the paper's full experiment in one call.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 use gnn::train::{self, Example, TrainConfig, TrainHistory};
 use gnn::{GnnKind, GnnModel, GraphContext, ModelConfig};
@@ -20,7 +19,7 @@ use crate::sdp::{self, SdpConfig, SdpStats};
 /// [`PipelineConfig::quick`] is a minutes-scale configuration with the same
 /// structure. The experiment binaries honor the `QAOA_GNN_FULL=1`
 /// environment variable to select between them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// Dataset shape (§3.1).
     pub dataset: DatasetSpec,
@@ -195,8 +194,8 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     fn tiny_config() -> PipelineConfig {
         PipelineConfig {

@@ -7,13 +7,12 @@
 //! and the rest is preserved for coverage. `selective_rate = 0.7` keeps 70%
 //! of the would-be-discarded data.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 use crate::dataset::Dataset;
 
 /// Selective-Data-Pruning configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SdpConfig {
     /// Approximation-ratio threshold below which an entry is a pruning
     /// candidate (paper's initial experiment: 0.7).
@@ -52,7 +51,7 @@ impl SdpConfig {
 }
 
 /// Outcome statistics of one pruning pass.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SdpStats {
     /// Entries in the input dataset.
     pub input: usize,
@@ -105,8 +104,8 @@ mod tests {
     use crate::dataset::LabeledGraph;
     use qaoa::Params;
     use qgraph::Graph;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     fn entry(ar: f64) -> LabeledGraph {
         let graph = Graph::cycle(4).unwrap();

@@ -17,10 +17,10 @@
 //! ```
 //! use gnn::{GnnKind, GnnModel, ModelConfig};
 //! use qgraph::Graph;
-//! use rand::SeedableRng;
+//! use qrand::SeedableRng;
 //!
 //! # fn main() -> Result<(), qgraph::GraphError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = qrand::rngs::StdRng::seed_from_u64(1);
 //! let model = GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng);
 //! let g = Graph::cycle(6)?;
 //! let (gamma, beta) = model.predict(&g);

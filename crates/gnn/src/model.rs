@@ -1,5 +1,4 @@
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 use qgraph::features::FeatureConfig;
 use qgraph::Graph;
@@ -8,7 +7,7 @@ use tensor::{Matrix, Tape, Tensor};
 use crate::GraphContext;
 
 /// The four GNN architectures benchmarked by the paper (§3.2, Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GnnKind {
     /// Graph Convolutional Network (Kipf & Welling) — Eqs. 2/5.
     Gcn,
@@ -37,7 +36,7 @@ impl std::fmt::Display for GnnKind {
 }
 
 /// The graph-level READOUT of Eq. 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Readout {
     /// Mean pooling over node embeddings (the paper's choice, §3.2).
     #[default]
@@ -49,7 +48,7 @@ pub enum Readout {
 }
 
 /// Model hyper-parameters; the default mirrors §4.1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
     /// Node-feature layout (degree + one-hot, §3.1).
     pub features: FeatureConfig,
@@ -393,7 +392,7 @@ impl GnnModel {
         self.tape.set_training(false);
         // Dropout is disabled, so the RNG is never consulted; a trivial
         // deterministic generator keeps the signature honest.
-        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut rng = qrand::rngs::mock::StepRng::new(0, 1);
         let out = self.forward(ctx, &mut rng).value();
         self.tape.set_training(was_training);
         self.tape.reset();
@@ -404,8 +403,8 @@ impl GnnModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     fn all_models(seed: u64) -> Vec<GnnModel> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -532,7 +531,7 @@ mod tests {
     fn readout_permutation_invariance() {
         // With degree-only features (no one-hot), relabeling nodes must not
         // change the graph-level prediction, whatever the readout.
-        use rand::seq::SliceRandom;
+        use qrand::seq::SliceRandom;
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5)]).unwrap();
         let mut perm: Vec<usize> = (0..6).collect();
         perm.shuffle(&mut StdRng::seed_from_u64(7));

@@ -4,9 +4,8 @@
 //! MSE loss, Adam, and the paper's ReduceLROnPlateau schedule monitoring the
 //! training loss. Models train for 100 epochs before evaluation.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::seq::SliceRandom;
+use qrand::Rng;
 
 use tensor::optim::{Adam, Optimizer};
 use tensor::sched::ReduceLrOnPlateau;
@@ -24,7 +23,7 @@ pub struct Example {
 }
 
 /// Training hyper-parameters; defaults follow §4.1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Number of epochs (paper: 100).
     pub epochs: usize,
@@ -56,7 +55,7 @@ impl TrainConfig {
 }
 
 /// Per-epoch training record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (from 0).
     pub epoch: usize,
@@ -67,7 +66,7 @@ pub struct EpochStats {
 }
 
 /// The full training history.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainHistory {
     /// One entry per epoch.
     pub epochs: Vec<EpochStats>,
@@ -162,8 +161,8 @@ mod tests {
     use crate::{GnnKind, ModelConfig};
     use qgraph::features::FeatureConfig;
     use qgraph::Graph;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     fn toy_dataset() -> Vec<Example> {
         // Cycles map to one target, stars to another: learnable from

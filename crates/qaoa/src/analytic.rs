@@ -99,8 +99,8 @@ mod tests {
     use super::*;
     use crate::{MaxCutHamiltonian, Params, QaoaCircuit};
     use qgraph::Graph;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     fn simulator_expectation(g: &Graph, gamma: f64, beta: f64) -> f64 {
         let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(g));

@@ -16,7 +16,6 @@
 //! [`tree_edge_value`] evaluates the tree objective at arbitrary angles
 //! (used by the tests to confirm the closed form really is the maximizer).
 
-use serde::{Deserialize, Serialize};
 
 use crate::analytic::regular_tree_edge_expectation;
 use crate::Params;
@@ -26,7 +25,7 @@ use crate::Params;
 pub const LOOKUP_DEGREES: std::ops::RangeInclusive<usize> = 3..=11;
 
 /// A fixed-angle entry for one degree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FixedAngles {
     /// Regular-graph degree the angles were derived for.
     pub degree: usize,
@@ -92,8 +91,8 @@ pub fn for_graph(graph: &qgraph::Graph) -> Option<FixedAngles> {
 mod tests {
     use super::*;
     use crate::{MaxCutHamiltonian, QaoaCircuit};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn closed_form_is_a_local_maximum_of_tree_objective() {

@@ -104,8 +104,8 @@ mod tests {
 
     #[test]
     fn optimum_matches_brute_force() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use qrand::SeedableRng;
+        let mut rng = qrand::rngs::StdRng::seed_from_u64(3);
         for _ in 0..10 {
             let g = qgraph::generate::erdos_renyi(8, 0.5, &mut rng).unwrap();
             let ham = MaxCutHamiltonian::new(&g);

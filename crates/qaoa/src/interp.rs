@@ -7,7 +7,7 @@
 //! schedules. Combined with a GNN-predicted p=1 start this yields a full
 //! warm-start ladder: predict → optimize p=1 → INTERP → optimize p=2 → ...
 
-use rand::Rng;
+use qrand::Rng;
 
 use crate::optimize::Maximizer;
 use crate::warm_start::{self, InitStrategy, WarmStartOutcome};
@@ -76,8 +76,8 @@ mod tests {
     use super::*;
     use crate::fixed_angle;
     use crate::optimize::NelderMead;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn interp_extend_depth_one() {

@@ -7,13 +7,12 @@
 //! `(γ, β)` plane, count local maxima, and estimate the basin of attraction
 //! of the global optimum — the quantities behind the warm-start motivation.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{MaxCutHamiltonian, Params, QaoaCircuit};
 
 /// A dense scan of the p=1 objective over the canonical domain
 /// `γ ∈ [0, π] × β ∈ [0, π/2]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Landscape {
     /// Grid resolution per axis.
     pub resolution: usize,

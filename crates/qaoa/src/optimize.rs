@@ -13,11 +13,10 @@
 //! * [`FiniteDiffAdam`] — central-difference gradients fed into Adam.
 //! * [`GridSearch`] — exhaustive p=1 baseline over the periodic domain.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 /// Result of an optimization run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptimizationResult {
     /// Best parameter vector found.
     pub best_point: Vec<f64>,
@@ -64,7 +63,7 @@ pub trait Maximizer {
 ///
 /// One "iteration" is one simplex transformation, which costs 1–2 objective
 /// evaluations (plus `k+1` for the initial simplex and occasional shrinks).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NelderMead {
     /// Iteration budget (paper: 500).
     pub max_iterations: usize,
@@ -220,7 +219,7 @@ impl Maximizer for NelderMead {
 ///
 /// Uses the standard gain sequences `a_k = a / (k + 1 + A)^α` and
 /// `c_k = c / (k + 1)^γ`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Spsa {
     /// Iteration budget.
     pub max_iterations: usize,
@@ -316,7 +315,7 @@ impl Maximizer for Spsa {
 
 /// Central-difference gradient estimation fed into the Adam update rule
 /// (maximizing).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FiniteDiffAdam {
     /// Iteration budget.
     pub max_iterations: usize,
@@ -417,7 +416,7 @@ impl Maximizer for FiniteDiffAdam {
 ///
 /// Only valid for two-dimensional parameter vectors; used as the "ground
 /// truth" labeler in data-quality ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridSearch {
     /// Grid points per axis.
     pub resolution: usize,
@@ -474,7 +473,7 @@ impl Maximizer for GridSearch {
 ///
 /// Restart points are sampled uniformly from per-coordinate ranges supplied
 /// at construction (for QAOA: `γ ∈ [0, 2π)`, `β ∈ [0, π)`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiStart<M> {
     inner: M,
     restarts: usize,
@@ -556,8 +555,8 @@ fn make_monotone(history: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     /// Smooth 2-d test objective with maximum 3.0 at (1, -2).
     fn bowl(x: &[f64]) -> f64 {

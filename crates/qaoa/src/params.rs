@@ -1,7 +1,6 @@
 use std::f64::consts::PI;
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 /// QAOA variational parameters: `p` phase angles γ and `p` mixer angles β.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// let flat = params.to_flat();
 /// assert_eq!(Params::from_flat(&flat).unwrap(), params);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Params {
     gammas: Vec<f64>,
     betas: Vec<f64>,
@@ -152,8 +151,8 @@ impl Params {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn construction_and_accessors() {

@@ -6,14 +6,13 @@
 //! [`run`] packages one such trajectory; [`WarmStartOutcome`] carries
 //! everything Figure 5 / Table 1 need.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 use crate::optimize::{Maximizer, OptimizationResult};
 use crate::{MaxCutHamiltonian, Params, QaoaCircuit};
 
 /// How the initial parameters were chosen — the experimental condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitStrategy {
     /// Uniformly random angles (the paper's baseline).
     Random,
@@ -31,7 +30,7 @@ impl std::fmt::Display for InitStrategy {
 }
 
 /// The record of one warm-start run on one instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WarmStartOutcome {
     /// Which condition produced the initial parameters.
     pub strategy: InitStrategy,
@@ -126,8 +125,8 @@ mod tests {
     use super::*;
     use crate::optimize::NelderMead;
     use qgraph::Graph;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     fn ham(g: &Graph) -> MaxCutHamiltonian {
         MaxCutHamiltonian::new(g)

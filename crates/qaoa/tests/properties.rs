@@ -1,41 +1,45 @@
 //! Property-based tests for the QAOA stack.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qcheck::{any_u64, prop_assert, prop_assert_eq, prop_assume, properties, vec};
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa::optimize::{Maximizer, NelderMead, Spsa};
 use qaoa::{analytic, MaxCutHamiltonian, Params, QaoaCircuit};
 use qgraph::generate;
 
-fn arb_graph() -> impl Strategy<Value = qgraph::Graph> {
-    (3usize..9, 0.2f64..0.9, any::<u64>()).prop_map(|(n, p, seed)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generate::erdos_renyi(n, p, &mut rng).expect("valid parameters")
-    })
+/// The suite's "arbitrary graph": a seeded Erdős–Rényi draw, built from
+/// primitive case coordinates so qcheck can shrink toward small graphs.
+fn build_graph(n: usize, p: f64, seed: u64) -> qgraph::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate::erdos_renyi(n, p, &mut rng).expect("valid parameters")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+properties! {
+    cases = 48;
 
-    #[test]
     fn expectation_bounded_by_spectrum(
-        g in arb_graph(),
+        n in 3usize..9,
+        p in 0.2f64..0.9,
+        seed in any_u64(),
         gamma in -7.0f64..7.0,
         beta in -4.0f64..4.0,
     ) {
+        let g = build_graph(n, p, seed);
         let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
         let e = circuit.expectation(&Params::new(vec![gamma], vec![beta]));
         prop_assert!(e >= -1e-9);
         prop_assert!(e <= circuit.hamiltonian().optimal_value() + 1e-9);
     }
 
-    #[test]
     fn simulator_equals_analytic_p1(
-        g in arb_graph(),
+        n in 3usize..9,
+        p in 0.2f64..0.9,
+        seed in any_u64(),
         gamma in -3.0f64..3.0,
         beta in -2.0f64..2.0,
     ) {
+        let g = build_graph(n, p, seed);
         prop_assume!(g.m() > 0);
         let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
         let sim = circuit.expectation(&Params::new(vec![gamma], vec![beta]));
@@ -43,12 +47,14 @@ proptest! {
         prop_assert!((sim - formula).abs() < 1e-8, "sim {sim} vs analytic {formula}");
     }
 
-    #[test]
     fn canonicalization_is_idempotent_and_invariant(
-        g in arb_graph(),
+        n in 3usize..9,
+        p in 0.2f64..0.9,
+        seed in any_u64(),
         gamma in -9.0f64..9.0,
         beta in -5.0f64..5.0,
     ) {
+        let g = build_graph(n, p, seed);
         let params = Params::new(vec![gamma], vec![beta]);
         let canonical = params.canonical();
         // Idempotent.
@@ -63,11 +69,13 @@ proptest! {
         prop_assert!((e1 - e2).abs() < 1e-8, "{e1} vs {e2}");
     }
 
-    #[test]
     fn state_norm_preserved_at_any_depth(
-        g in arb_graph(),
-        angles in proptest::collection::vec(-3.0f64..3.0, 2..8),
+        n in 3usize..9,
+        p in 0.2f64..0.9,
+        seed in any_u64(),
+        angles in vec(-3.0f64..3.0, 2usize..8),
     ) {
+        let g = build_graph(n, p, seed);
         let depth = angles.len() / 2;
         prop_assume!(depth >= 1);
         let params = Params::new(
@@ -79,32 +87,36 @@ proptest! {
         prop_assert!((psi.norm() - 1.0).abs() < 1e-9);
     }
 
-    #[test]
     fn optimizers_never_regress_from_start(
-        g in arb_graph(),
+        n in 3usize..9,
+        p in 0.2f64..0.9,
+        seed in any_u64(),
         start_gamma in 0.0f64..6.2,
         start_beta in 0.0f64..3.1,
-        seed in any::<u64>(),
+        opt_seed in any_u64(),
     ) {
+        let g = build_graph(n, p, seed);
         let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
         let objective = |flat: &[f64]| {
             circuit.expectation(&Params::from_flat(flat).expect("p=1 layout"))
         };
         let start = [start_gamma, start_beta];
         let start_value = objective(&start);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(opt_seed);
         let nm = NelderMead::new(30).maximize(objective, &start, &mut rng);
         prop_assert!(nm.best_value >= start_value - 1e-9);
         let spsa = Spsa::new(30).maximize(objective, &start, &mut rng);
         prop_assert!(spsa.best_value >= start_value - 1e-9);
     }
 
-    #[test]
     fn approximation_ratio_of_best_params_leq_one(
-        g in arb_graph(),
-        seed in any::<u64>(),
+        n in 3usize..9,
+        p in 0.2f64..0.9,
+        seed in any_u64(),
+        opt_seed in any_u64(),
     ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let g = build_graph(n, p, seed);
+        let mut rng = StdRng::seed_from_u64(opt_seed);
         let ham = MaxCutHamiltonian::new(&g);
         let outcome = qaoa::warm_start::run_random_init(
             &ham,
@@ -120,9 +132,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn interp_preserves_endpoint_schedule(
-        angles in proptest::collection::vec(0.05f64..1.5, 2..10),
+        angles in vec(0.05f64..1.5, 2usize..10),
     ) {
         let depth = angles.len() / 2;
         prop_assume!(depth >= 1);

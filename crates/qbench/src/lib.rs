@@ -1,0 +1,270 @@
+//! In-tree micro-benchmark harness.
+//!
+//! A minimal replacement for the subset of `criterion` this workspace
+//! used: per-benchmark warmup, a calibrated batch size so sub-microsecond
+//! bodies are still measurable with `Instant`, median/p95/mean over N
+//! samples, and machine-readable JSON-lines output on stdout — one line
+//! per benchmark, so `cargo bench | grep '^{'` pipes straight into any
+//! log processor.
+//!
+//! ```no_run
+//! use qbench::{black_box, Bench};
+//!
+//! let mut bench = Bench::from_env();
+//! bench.bench("sum_1k", || (0..1000u64).map(black_box).sum::<u64>());
+//! bench.finish();
+//! ```
+//!
+//! Environment knobs: `QBENCH_SAMPLES` (default 30), `QBENCH_WARMUP_MS`
+//! (default 50), `QBENCH_TARGET_MS` (per-sample batch target, default 10),
+//! `QBENCH_FILTER` (substring filter on benchmark names).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Benchmark name.
+    pub name: String,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// 95th percentile over samples.
+    pub p95_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Minimum over samples.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per timed sample (batch size).
+    pub iters_per_sample: u64,
+}
+
+impl Stats {
+    /// The JSON-lines record emitted for this benchmark.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"median_ns\":{:.1},\"p95_ns\":{:.1},\"mean_ns\":{:.1},\
+             \"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+            self.name,
+            self.median_ns,
+            self.p95_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.samples,
+            self.iters_per_sample
+        )
+    }
+}
+
+/// The benchmark runner. Construct once per binary, call
+/// [`Bench::bench`]/[`Bench::bench_with_input`] per benchmark, then
+/// [`Bench::finish`].
+#[derive(Debug)]
+pub struct Bench {
+    samples: usize,
+    warmup_ms: u64,
+    target_ms: u64,
+    filter: Option<String>,
+    results: Vec<Stats>,
+}
+
+impl Bench {
+    /// A runner with explicit settings.
+    pub fn new(samples: usize, warmup_ms: u64, target_ms: u64) -> Self {
+        Bench {
+            samples: samples.max(3),
+            warmup_ms,
+            target_ms: target_ms.max(1),
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// A runner configured from the environment (see module docs), with the
+    /// first non-flag CLI argument doubling as a name filter — `cargo bench
+    /// --bench simulator -- qaoa` runs only benchmarks matching "qaoa".
+    pub fn from_env() -> Self {
+        let get = |key: &str, default: u64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(default)
+        };
+        let mut bench = Bench::new(
+            get("QBENCH_SAMPLES", 30) as usize,
+            get("QBENCH_WARMUP_MS", 50),
+            get("QBENCH_TARGET_MS", 10),
+        );
+        bench.filter = std::env::var("QBENCH_FILTER").ok().or_else(|| {
+            std::env::args()
+                .skip(1)
+                .find(|a| !a.starts_with('-') && !a.is_empty())
+        });
+        // `cargo test` runs harness=false bench binaries with `--test`-ish
+        // flags and expects them to be fast: collapse to a smoke run.
+        if std::env::args().any(|a| a == "--test") {
+            bench.samples = 3;
+            bench.warmup_ms = 0;
+            bench.target_ms = 1;
+        }
+        bench
+    }
+
+    /// Overrides the per-benchmark sample count (chainable).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Runs one benchmark. The closure's return value is passed through
+    /// [`black_box`] so the body is not optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut body: impl FnMut() -> T) -> Option<&Stats> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        // Warmup: run for the configured wall-clock budget and estimate the
+        // per-iteration cost for batch calibration.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        let mut per_iter_ns = loop {
+            let t = Instant::now();
+            black_box(body());
+            let dt = t.elapsed().as_nanos() as u64;
+            warmup_iters += 1;
+            if warmup_start.elapsed().as_millis() as u64 >= self.warmup_ms || warmup_iters >= 10_000
+            {
+                break dt.max(1);
+            }
+        };
+        // Refine the estimate with the mean over the whole warmup when we
+        // had more than a couple of iterations (single-shot timing of a
+        // fast body is mostly timer noise).
+        if warmup_iters > 2 {
+            let mean = warmup_start.elapsed().as_nanos() as u64 / warmup_iters;
+            per_iter_ns = mean.max(1);
+        }
+        let iters = (self.target_ms * 1_000_000 / per_iter_ns).clamp(1, 10_000_000);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            sample_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let pick = |q: f64| {
+            let idx = ((sample_ns.len() as f64 - 1.0) * q).round() as usize;
+            sample_ns[idx]
+        };
+        let stats = Stats {
+            name: name.to_string(),
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            mean_ns: sample_ns.iter().sum::<f64>() / sample_ns.len() as f64,
+            min_ns: sample_ns[0],
+            samples: sample_ns.len(),
+            iters_per_sample: iters,
+        };
+        println!("{}", stats.to_json_line());
+        self.results.push(stats);
+        self.results.last()
+    }
+
+    /// [`Bench::bench`] with a labeled input, criterion-style: the name is
+    /// `group/parameter`.
+    pub fn bench_with_input<I: std::fmt::Display, T>(
+        &mut self,
+        group: &str,
+        input: I,
+        mut body: impl FnMut() -> T,
+    ) -> Option<&Stats> {
+        self.bench(&format!("{group}/{input}"), move || body())
+    }
+
+    /// All collected results.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// Prints a human-readable summary table to stderr (stdout stays pure
+    /// JSON lines) and returns the number of benchmarks run.
+    pub fn finish(&self) -> usize {
+        eprintln!("{:<40} {:>12} {:>12} {:>12}", "benchmark", "median", "p95", "min");
+        for s in &self.results {
+            eprintln!(
+                "{:<40} {:>9.1} ns {:>9.1} ns {:>9.1} ns",
+                s.name, s.median_ns, s.p95_ns, s.min_ns
+            );
+        }
+        self.results.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_ordered_stats() {
+        let mut b = Bench::new(5, 0, 1);
+        let s = b
+            .bench("spin", || {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+            .expect("not filtered")
+            .clone();
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert!(s.median_ns > 0.0);
+        assert_eq!(s.samples, 5);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let s = Stats {
+            name: "x/8".into(),
+            median_ns: 10.5,
+            p95_ns: 12.0,
+            mean_ns: 10.9,
+            min_ns: 10.0,
+            samples: 30,
+            iters_per_sample: 1000,
+        };
+        let line = s.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"bench\":\"x/8\""));
+        assert!(line.contains("\"median_ns\":10.5"));
+        assert!(line.contains("\"iters_per_sample\":1000"));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut b = Bench::new(3, 0, 1);
+        b.filter = Some("match".into());
+        assert!(b.bench("other", || 1).is_none());
+        assert!(b.bench("does_match_this", || 1).is_some());
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn bench_with_input_formats_name() {
+        let mut b = Bench::new(3, 0, 1);
+        let s = b.bench_with_input("group", 12, || 0).unwrap();
+        assert_eq!(s.name, "group/12");
+    }
+}

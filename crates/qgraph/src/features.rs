@@ -5,12 +5,11 @@
 //! one-hot id padded to the maximum graph size. [`node_features`] reproduces
 //! that layout; [`FeatureConfig`] lets ablations vary it.
 
-use serde::{Deserialize, Serialize};
 
 use crate::Graph;
 
 /// Configuration of the per-node feature vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeatureConfig {
     /// Width of the one-hot node-id block (paper: 15). Node ids `>= one_hot_dim`
     /// get an all-zero block; graphs are expected to satisfy `n <= one_hot_dim`.

@@ -8,9 +8,8 @@
 //! mixed-degree dataset; [`erdos_renyi`] and the weighted wrappers support
 //! the weighted-graph extension discussed in §7.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::seq::SliceRandom;
+use qrand::Rng;
 
 use crate::{Graph, GraphError};
 
@@ -32,8 +31,8 @@ use crate::{Graph, GraphError};
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// use qrand::SeedableRng;
+/// let mut rng = qrand::rngs::StdRng::seed_from_u64(7);
 /// let g = qgraph::generate::random_regular(10, 3, &mut rng)?;
 /// assert_eq!(g.regular_degree(), Some(3));
 /// # Ok::<(), qgraph::GraphError>(())
@@ -173,7 +172,7 @@ pub fn randomize_weights<R: Rng + ?Sized>(
 /// `min_nodes..=max_nodes` and then a feasible degree uniformly from
 /// `min_degree..=min(max_degree, n - 1)` (adjusted for parity). The defaults
 /// mirror the paper: 9598 instances, sizes 2–15, degrees 2–14.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatasetSpec {
     /// Number of graphs to generate (paper: 9598).
     pub count: usize,
@@ -267,8 +266,8 @@ impl DatasetSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn regular_generator_produces_regular_simple_graphs() {

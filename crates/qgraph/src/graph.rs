@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
 
 use crate::GraphError;
 
 /// A weighted undirected edge with canonical endpoint order (`u < v`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// Smaller endpoint.
     pub u: usize,
@@ -46,7 +45,7 @@ impl Edge {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,

@@ -7,8 +7,7 @@
 //! expectation anchor (a uniformly random cut achieves half the total weight
 //! in expectation).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 use crate::Graph;
 
@@ -16,7 +15,7 @@ use crate::Graph;
 ///
 /// `side[v]` is `false` for one part and `true` for the other. Cut value is
 /// the total weight of edges whose endpoints lie on different sides.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cut {
     /// Partition assignment per node.
     pub side: Vec<bool>,
@@ -179,8 +178,8 @@ pub fn approximation_ratio(achieved: f64, optimal: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn brute_force_on_known_graphs() {

@@ -3,12 +3,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::Graph;
 
 /// A discrete histogram keyed by an integer bin (degree, size, ...).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     counts: BTreeMap<usize, usize>,
 }
@@ -94,7 +93,7 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
 
 /// Five-number-style summary of a sample grouped under one key, used for the
 /// interval plots of Figures 3–4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupSummary {
     /// The group key (graph size or degree).
     pub key: usize,

@@ -1,44 +1,47 @@
 //! Property-based tests for the graph substrate.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qcheck::{any_u64, prop_assert, prop_assert_eq, prop_assume, properties, vec};
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qgraph::{generate, io, maxcut, stats, Graph};
 
-/// Strategy producing a random simple graph via Erdős–Rényi with a seed.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..12, 0.0f64..=1.0, any::<u64>()).prop_map(|(n, p, seed)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generate::erdos_renyi(n, p, &mut rng).expect("valid parameters")
-    })
+/// Builds the canonical "arbitrary graph" from primitive case coordinates:
+/// an Erdős–Rényi draw from a seeded generator. Keeping the generator
+/// arguments primitive lets qcheck shrink `n`/`p` toward the small corner.
+fn build_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate::erdos_renyi(n, p, &mut rng).expect("valid parameters")
 }
 
-proptest! {
-    #[test]
-    fn handshake_lemma(g in arb_graph()) {
+properties! {
+    fn handshake_lemma(n in 2usize..12, p in 0.0f64..=1.0, seed in any_u64()) {
+        let g = build_graph(n, p, seed);
         let degree_sum: usize = g.degrees().iter().sum();
         prop_assert_eq!(degree_sum, 2 * g.m());
     }
 
-    #[test]
-    fn degree_histogram_total_counts_all_nodes(g in arb_graph()) {
+    fn degree_histogram_total_counts_all_nodes(
+        n in 2usize..12,
+        p in 0.0f64..=1.0,
+        seed in any_u64(),
+    ) {
+        let g = build_graph(n, p, seed);
         let h = stats::degree_histogram(std::iter::once(&g));
         prop_assert_eq!(h.total(), g.n());
     }
 
-    #[test]
-    fn text_io_round_trips(g in arb_graph()) {
+    fn text_io_round_trips(n in 2usize..12, p in 0.0f64..=1.0, seed in any_u64()) {
+        let g = build_graph(n, p, seed);
         let s = io::graph_to_string(&g);
         let back = io::graph_from_str(&s).unwrap();
         prop_assert_eq!(g, back);
     }
 
-    #[test]
     fn random_regular_is_regular(
         n in 2usize..16,
         d_raw in 0usize..15,
-        seed in any::<u64>(),
+        seed in any_u64(),
     ) {
         let d = d_raw % n;
         prop_assume!((n * d) % 2 == 0);
@@ -54,17 +57,26 @@ proptest! {
         }
     }
 
-    #[test]
-    fn brute_force_at_least_half_total_weight(g in arb_graph()) {
+    fn brute_force_at_least_half_total_weight(
+        n in 2usize..12,
+        p in 0.0f64..=1.0,
+        seed in any_u64(),
+    ) {
+        let g = build_graph(n, p, seed);
         // A classical fact: max cut >= W/2 (random assignment argument).
         let best = maxcut::brute_force(&g);
         prop_assert!(best.value >= g.total_weight() / 2.0 - 1e-9);
         prop_assert!(best.value <= g.total_weight() + 1e-9);
     }
 
-    #[test]
-    fn brute_force_dominates_heuristics(g in arb_graph(), seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+    fn brute_force_dominates_heuristics(
+        n in 2usize..12,
+        p in 0.0f64..=1.0,
+        seed in any_u64(),
+        cut_seed in any_u64(),
+    ) {
+        let g = build_graph(n, p, seed);
+        let mut rng = StdRng::seed_from_u64(cut_seed);
         let opt = maxcut::brute_force(&g).value;
         prop_assert!(maxcut::greedy(&g).value <= opt + 1e-9);
         let rc = maxcut::random_cut(&g, &mut rng);
@@ -72,25 +84,34 @@ proptest! {
         prop_assert!(maxcut::local_search(&g, rc.side).value <= opt + 1e-9);
     }
 
-    #[test]
-    fn cut_value_invariant_under_complement(g in arb_graph(), seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+    fn cut_value_invariant_under_complement(
+        n in 2usize..12,
+        p in 0.0f64..=1.0,
+        seed in any_u64(),
+        cut_seed in any_u64(),
+    ) {
+        let g = build_graph(n, p, seed);
+        let mut rng = StdRng::seed_from_u64(cut_seed);
         let c = maxcut::random_cut(&g, &mut rng);
         prop_assert!((c.complement(&g).value - c.value).abs() < 1e-9);
     }
 
-    #[test]
-    fn relabeling_preserves_maxcut(g in arb_graph(), seed in any::<u64>()) {
-        use rand::seq::SliceRandom;
-        let mut rng = StdRng::seed_from_u64(seed);
+    fn relabeling_preserves_maxcut(
+        n in 2usize..12,
+        p in 0.0f64..=1.0,
+        seed in any_u64(),
+        perm_seed in any_u64(),
+    ) {
+        use qrand::seq::SliceRandom;
+        let g = build_graph(n, p, seed);
+        let mut rng = StdRng::seed_from_u64(perm_seed);
         let mut perm: Vec<usize> = (0..g.n()).collect();
         perm.shuffle(&mut rng);
         let h = g.relabel(&perm);
         prop_assert!((maxcut::brute_force(&g).value - maxcut::brute_force(&h).value).abs() < 1e-9);
     }
 
-    #[test]
-    fn mean_std_bounds(values in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+    fn mean_std_bounds(values in vec(-100.0f64..100.0, 1usize..50)) {
         let (mean, std) = stats::mean_std(&values);
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);

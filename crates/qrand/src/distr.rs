@@ -1,0 +1,141 @@
+//! Distribution values: use these when a distribution is configured once
+//! and sampled many times (or passed around as data).
+
+use crate::{Rng, RngCore, SampleUniform};
+
+/// A distribution that can be sampled with any generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Bernoulli trial with fixed success probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// A Bernoulli distribution with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli: p={p} outside [0,1]");
+        Bernoulli { p }
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+/// Normal (Gaussian) distribution, sampled by Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "Normal: invalid std_dev {std_dev}"
+        );
+        Normal { mean, std_dev }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_normal(self.mean, self.std_dev)
+    }
+}
+
+/// Uniform distribution over a half-open interval `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// A uniform distribution over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform: empty range");
+        Uniform { lo, hi }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(self.lo, self.hi, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let never = Bernoulli::new(0.0);
+        let always = Bernoulli::new(1.0);
+        for _ in 0..100 {
+            assert!(!never.sample(&mut rng));
+            assert!(always.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(3.5, 0.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn uniform_int_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Uniform::new(10u64, 20);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = Bernoulli::new(1.5);
+    }
+}

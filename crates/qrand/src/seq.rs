@@ -1,0 +1,108 @@
+//! Sequence randomization: Fisher–Yates shuffle and uniform choice.
+
+use crate::{RngCore, SampleUniform};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, unbiased).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// A uniformly chosen mutable element, or `None` if the slice is empty.
+    fn choose_mut<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Option<&mut Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_inclusive(0, i, rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[usize::sample_half_open(0, self.len(), rng)])
+        }
+    }
+
+    fn choose_mut<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Option<&mut T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = usize::sample_half_open(0, self.len(), rng);
+            Some(&mut self[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_moves_something() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v: [u8; 0] = [];
+        assert!(v.choose(&mut rng).is_none());
+        let mut w: Vec<u8> = vec![];
+        assert!(w.choose_mut(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_mut_allows_mutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v = [0u8; 3];
+        *v.choose_mut(&mut rng).unwrap() = 7;
+        assert_eq!(v.iter().filter(|&&x| x == 7).count(), 1);
+    }
+}

@@ -6,12 +6,11 @@
 //! [`Circuit::maxcut_qaoa`] decomposition that the tests verify against the
 //! fast path.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{gates, StateVector};
 
 /// A gate in a [`Circuit`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Gate {
     /// Hadamard on one qubit.
@@ -90,7 +89,7 @@ impl Gate {
 /// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
 /// assert_eq!(bell.two_qubit_gate_count(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Circuit {
     num_qubits: usize,
     ops: Vec<Gate>,

@@ -8,7 +8,7 @@
 //! trajectories converges to the density-matrix result without ever storing
 //! a `4^n` object.
 
-use rand::Rng;
+use qrand::Rng;
 
 use crate::{gates, StateVector};
 
@@ -94,8 +94,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn zero_probability_is_identity() {

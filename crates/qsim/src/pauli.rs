@@ -8,12 +8,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Complex, StateVector};
 
 /// A single-qubit Pauli factor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pauli {
     /// Identity.
     I,
@@ -39,7 +38,7 @@ pub enum Pauli {
 /// assert!((x0.expectation(&psi) - 1.0).abs() < 1e-12);
 /// # Ok::<(), qsim::pauli::ParsePauliError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PauliString {
     factors: Vec<Pauli>,
 }

@@ -1,4 +1,4 @@
-use rand::Rng;
+use qrand::Rng;
 
 use crate::{Complex, MAX_QUBITS};
 
@@ -215,8 +215,8 @@ impl StateVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn zero_state_is_basis_zero() {

@@ -1,6 +1,6 @@
 //! Property-based tests for the state-vector simulator.
 
-use proptest::prelude::*;
+use qcheck::{prop_assert, properties, vec};
 
 use qsim::diagonal::DiagonalOperator;
 use qsim::{gates, Complex, StateVector};
@@ -20,21 +20,19 @@ fn scrambled_state(num_qubits: usize, angles: &[f64]) -> StateVector {
     psi
 }
 
-proptest! {
-    #[test]
+properties! {
     fn all_gates_preserve_norm(
         n in 1usize..7,
-        angles in proptest::collection::vec(-6.3f64..6.3, 1..12),
+        angles in vec(-6.3f64..6.3, 1usize..12),
     ) {
         let psi = scrambled_state(n, &angles);
         prop_assert!((psi.norm() - 1.0).abs() < 1e-10);
     }
 
-    #[test]
     fn h_is_self_inverse(
         n in 1usize..6,
         q_raw in 0usize..6,
-        angles in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        angles in vec(-3.0f64..3.0, 1usize..6),
     ) {
         let q = q_raw % n;
         let mut psi = scrambled_state(n, &angles);
@@ -44,11 +42,10 @@ proptest! {
         prop_assert!((psi.fidelity(&before) - 1.0).abs() < 1e-10);
     }
 
-    #[test]
     fn x_is_self_inverse(
         n in 1usize..6,
         q_raw in 0usize..6,
-        angles in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        angles in vec(-3.0f64..3.0, 1usize..6),
     ) {
         let q = q_raw % n;
         let mut psi = scrambled_state(n, &angles);
@@ -58,11 +55,10 @@ proptest! {
         prop_assert!((psi.fidelity(&before) - 1.0).abs() < 1e-10);
     }
 
-    #[test]
     fn rotation_by_zero_is_identity(
         n in 1usize..6,
         q_raw in 0usize..6,
-        angles in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        angles in vec(-3.0f64..3.0, 1usize..6),
     ) {
         let q = q_raw % n;
         let mut psi = scrambled_state(n, &angles);
@@ -73,7 +69,6 @@ proptest! {
         prop_assert!((psi.fidelity(&before) - 1.0).abs() < 1e-10);
     }
 
-    #[test]
     fn rx_angles_compose(
         n in 1usize..5,
         q_raw in 0usize..5,
@@ -89,21 +84,19 @@ proptest! {
         prop_assert!((lhs.fidelity(&rhs) - 1.0).abs() < 1e-10);
     }
 
-    #[test]
     fn probabilities_sum_to_one(
         n in 1usize..7,
-        angles in proptest::collection::vec(-6.3f64..6.3, 1..12),
+        angles in vec(-6.3f64..6.3, 1usize..12),
     ) {
         let psi = scrambled_state(n, &angles);
         let total: f64 = psi.probabilities().iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-10);
     }
 
-    #[test]
     fn diagonal_phase_preserves_expectation(
         n in 1usize..6,
         theta in -6.3f64..6.3,
-        angles in proptest::collection::vec(-3.0f64..3.0, 1..8),
+        angles in vec(-3.0f64..3.0, 1usize..8),
     ) {
         // e^{-iθD} commutes with D, so ⟨D⟩ is invariant.
         let op = DiagonalOperator::from_fn(n, |z| z.count_ones() as f64);
@@ -113,10 +106,9 @@ proptest! {
         prop_assert!((op.expectation(&psi) - before).abs() < 1e-9);
     }
 
-    #[test]
     fn expectation_within_operator_bounds(
         n in 1usize..6,
-        angles in proptest::collection::vec(-3.0f64..3.0, 1..8),
+        angles in vec(-3.0f64..3.0, 1usize..8),
     ) {
         let op = DiagonalOperator::from_fn(n, |z| (z as f64).sin() * 3.0);
         let psi = scrambled_state(n, &angles);
@@ -125,11 +117,10 @@ proptest! {
         prop_assert!(e <= op.max_value() + 1e-9);
     }
 
-    #[test]
     fn inner_product_is_conjugate_symmetric(
         n in 1usize..5,
-        a1 in proptest::collection::vec(-3.0f64..3.0, 1..6),
-        a2 in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        a1 in vec(-3.0f64..3.0, 1usize..6),
+        a2 in vec(-3.0f64..3.0, 1usize..6),
     ) {
         let x = scrambled_state(n, &a1);
         let y = scrambled_state(n, &a2);
@@ -138,11 +129,10 @@ proptest! {
         prop_assert!((xy - yx.conj()).norm() < 1e-10);
     }
 
-    #[test]
     fn cauchy_schwarz_fidelity(
         n in 1usize..5,
-        a1 in proptest::collection::vec(-3.0f64..3.0, 1..6),
-        a2 in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        a1 in vec(-3.0f64..3.0, 1usize..6),
+        a2 in vec(-3.0f64..3.0, 1usize..6),
     ) {
         let x = scrambled_state(n, &a1);
         let y = scrambled_state(n, &a2);
@@ -150,7 +140,6 @@ proptest! {
         prop_assert!((-1e-10..=1.0 + 1e-10).contains(&f));
     }
 
-    #[test]
     fn complex_field_axioms(
         ar in -10.0f64..10.0, ai in -10.0f64..10.0,
         br in -10.0f64..10.0, bi in -10.0f64..10.0,

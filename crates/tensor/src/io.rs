@@ -1,7 +1,7 @@
 //! Plain-text persistence for named parameter collections.
 //!
-//! The offline dependency set has no serialization backend beyond `serde`'s
-//! derive layer, so checkpoints use a minimal line format:
+//! The workspace is hermetic (no external serialization crates), so
+//! checkpoints use a minimal line format:
 //!
 //! ```text
 //! # optional comments
@@ -154,8 +154,8 @@ pub fn read_params<P: AsRef<Path>>(path: P) -> io::Result<Vec<Matrix>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn round_trip_exact() {

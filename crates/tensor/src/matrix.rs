@@ -1,8 +1,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qrand::Rng;
 
 /// A dense row-major `f64` matrix — the value type of the autodiff engine.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.matmul(&b), a);
 /// assert_eq!(a[(1, 0)], 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -379,8 +378,8 @@ impl fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     #[test]
     fn constructors() {

@@ -8,12 +8,11 @@
 //! as dividing the rate by 5, the multiplicative factor 0.2). [`StepLr`] and
 //! [`CosineAnnealing`] support the ablations.
 
-use serde::{Deserialize, Serialize};
 
 use crate::optim::Optimizer;
 
 /// Whether a monitored metric should decrease or increase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlateauMode {
     /// Improvement means the metric got smaller (loss — the paper's mode).
     Min,
@@ -38,7 +37,7 @@ pub enum PlateauMode {
 /// }
 /// assert!(opt.learning_rate() < 0.01);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReduceLrOnPlateau {
     /// Improvement direction.
     pub mode: PlateauMode,
@@ -105,7 +104,7 @@ impl ReduceLrOnPlateau {
 
 /// Step decay: multiply the learning rate by `gamma` every `step_size`
 /// epochs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepLr {
     /// Epochs between decays.
     pub step_size: usize,
@@ -143,7 +142,7 @@ impl StepLr {
 
 /// Cosine annealing from the optimizer's initial rate down to `eta_min`
 /// over `t_max` epochs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CosineAnnealing {
     /// Annealing horizon in epochs.
     pub t_max: usize,

@@ -1,7 +1,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::Rng;
+use qrand::Rng;
 
 use crate::Matrix;
 
@@ -644,8 +644,8 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
 
     /// Central-difference gradient check: perturbs every entry of `param`
     /// and compares with the autodiff gradient.

@@ -1,7 +1,7 @@
 //! Property-based tests for the autodiff engine: gradients of randomly
 //! composed computation graphs must match central finite differences.
 
-use proptest::prelude::*;
+use qcheck::{any_u64, choice, prop_assert, prop_assert_eq, properties, Gen};
 
 use tensor::{Matrix, Tape, Tensor};
 
@@ -30,23 +30,23 @@ fn apply_unary(op: UnaryOp, x: &Tensor) -> Tensor {
     }
 }
 
-fn arb_unary() -> impl Strategy<Value = UnaryOp> {
-    prop_oneof![
-        Just(UnaryOp::Relu),
-        Just(UnaryOp::LeakyRelu),
-        Just(UnaryOp::Sigmoid),
-        Just(UnaryOp::Tanh),
-        Just(UnaryOp::Abs),
-        Just(UnaryOp::Scale),
-        Just(UnaryOp::Transpose),
-    ]
+fn arb_unary() -> impl Gen<Item = UnaryOp> {
+    choice([
+        UnaryOp::Relu,
+        UnaryOp::LeakyRelu,
+        UnaryOp::Sigmoid,
+        UnaryOp::Tanh,
+        UnaryOp::Abs,
+        UnaryOp::Scale,
+        UnaryOp::Transpose,
+    ])
 }
 
 /// Entries away from activation kinks (ReLU/Abs at 0) so finite differences
-/// are well-behaved.
-fn arb_entries(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(
-        prop_oneof![0.05f64..2.0, -2.0f64..-0.05],
+/// are well-behaved: magnitude in [0.05, 2), either sign.
+fn arb_entries(n: usize) -> impl Gen<Item = Vec<f64>> {
+    qcheck::vec(
+        qcheck::map((0.05f64..2.0, qcheck::choice([1.0f64, -1.0])), |(m, s)| m * s),
         n..=n,
     )
 }
@@ -60,16 +60,15 @@ fn scalar_loss(tape: &Tape, param: &Tensor, ops: &[UnaryOp], mixer: &Matrix) -> 
     h.matmul(&m).sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+properties! {
+    cases = 64;
 
-    #[test]
     fn random_graphs_gradcheck(
         rows in 1usize..4,
         cols in 1usize..4,
         entries in arb_entries(9),
         mix in arb_entries(9),
-        ops in proptest::collection::vec(arb_unary(), 0..4),
+        ops in qcheck::vec(arb_unary(), 0usize..4),
     ) {
         let value = Matrix::from_flat(rows, cols, entries[..rows * cols].to_vec());
         let mixer = Matrix::from_flat(cols, 1, mix[..cols].to_vec());
@@ -100,7 +99,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn matmul_grad_matches_transposed_rule(
         a_entries in arb_entries(6),
         b_entries in arb_entries(6),
@@ -121,7 +119,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn mse_gradient_is_two_thirds_residual(
         pred in arb_entries(3),
         target in arb_entries(3),
@@ -139,9 +136,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn softmax_rows_are_probability_vectors(
-        entries in proptest::collection::vec(-5.0f64..5.0, 12..=12),
+        entries in qcheck::vec(-5.0f64..5.0, 12usize..=12),
     ) {
         let tape = Tape::new();
         let x = tape.constant(Matrix::from_flat(3, 4, entries));
@@ -164,13 +160,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn dropout_expectation_is_identity(
         p in 0.0f64..0.9,
-        seed in any::<u64>(),
+        seed in any_u64(),
     ) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use qrand::rngs::StdRng;
+        use qrand::SeedableRng;
         // Inverted dropout: E[mask ⊙ x] = x, so the sample mean over many
         // masks approaches the input.
         let tape = Tape::new();

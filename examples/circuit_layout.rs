@@ -10,8 +10,8 @@
 //! net weights; a GNN trained on small instances predicts QAOA angles for
 //! the layout instance.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::{GnnKind, GnnModel, ModelConfig};
 use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};

@@ -10,8 +10,8 @@
 //! INTERP-extend and re-optimize — the approximation ratio climbs with
 //! depth while every level starts warm.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa::interp;
 use qaoa::optimize::NelderMead;

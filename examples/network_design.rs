@@ -11,8 +11,8 @@
 //! search) and with QAOA warm-started from the fixed-angle table, and
 //! reports everyone's approximation ratio.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use qaoa::optimize::NelderMead;
 use qaoa::warm_start::{self, InitStrategy};

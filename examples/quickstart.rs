@@ -9,8 +9,8 @@
 //! (§3.1), train a GCN (§4.1), and compare GNN-predicted initialization
 //! against random initialization on a fresh graph (§4).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::{GnnKind, GnnModel, ModelConfig};
 use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};

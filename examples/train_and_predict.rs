@@ -9,8 +9,8 @@
 //! binary instead: `QAOA_GNN_FULL=1 cargo run --release -p qaoa-gnn-bench
 //! --bin fig5_table1`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::train::TrainConfig;
 use gnn::GnnKind;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Hermetic CI: build and test fully offline, then verify the dependency
+# graph contains only in-tree path crates. Any dependency that resolves to
+# a registry, git, or other non-path source fails the build — that is the
+# workspace's zero-external-dependency guarantee.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> offline release build (all targets)"
+cargo build --release --offline --all-targets
+
+echo "==> offline test suite"
+cargo test -q --offline
+
+echo "==> dependency source guard"
+# Every package in the resolved graph must have "source": null (a path
+# dependency / workspace member). Registry packages carry a
+# "registry+https://..." source, git packages "git+...".
+metadata=$(cargo metadata --format-version 1 --offline)
+violations=$(printf '%s' "$metadata" | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+bad = ["{} {} ({})".format(p["name"], p["version"], p["source"])
+       for p in meta["packages"] if p["source"] is not None]
+print("\n".join(bad))
+')
+if [ -n "$violations" ]; then
+    echo "ERROR: non-path dependencies found:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "OK: $(printf '%s' "$metadata" | python3 -c 'import json,sys; print(len(json.load(sys.stdin)["packages"]))') packages, all path-only"
+
+echo "==> smoke-run benches (qbench --test mode)"
+for bench in generators optimizers gnn_forward simulator; do
+    cargo bench --offline -q -p qaoa-gnn-bench --bench "$bench" -- --test >/dev/null
+done
+echo "OK: benches run"
+
+echo "All checks passed."

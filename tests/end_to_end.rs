@@ -1,7 +1,7 @@
 //! End-to-end pipeline tests: the paper's experiment at test scale.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::train::TrainConfig;
 use gnn::GnnKind;

@@ -1,0 +1,93 @@
+//! Golden cross-check: the `2^n` state-vector simulator against the
+//! closed-form p=1 Max-Cut expectation of Wang et al. (PRA 97, 022304).
+//!
+//! The two implementations share no code — the simulator applies gates to
+//! amplitudes, the analytic formula sums a trigonometric expression over
+//! edges — so agreement to 1e-10 pins down both: any phase-convention slip,
+//! diagonal-table bug, or formula typo breaks it.
+
+use qrand::rngs::StdRng;
+use qrand::{Rng, SeedableRng};
+
+use qaoa::analytic;
+use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
+use qgraph::Graph;
+
+fn simulator_expectation(graph: &Graph, gamma: f64, beta: f64) -> f64 {
+    let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(graph));
+    circuit.expectation(&Params::new(vec![gamma], vec![beta]))
+}
+
+fn assert_matches(graph: &Graph, gamma: f64, beta: f64, what: &str) {
+    let sim = simulator_expectation(graph, gamma, beta);
+    let formula = analytic::graph_expectation(graph, gamma, beta);
+    assert!(
+        (sim - formula).abs() < 1e-10,
+        "{what}: γ={gamma} β={beta}: simulator {sim} vs analytic {formula}"
+    );
+}
+
+#[test]
+fn random_erdos_renyi_graphs_match_closed_form() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    for trial in 0..20 {
+        let n = rng.gen_range(3usize..=9);
+        let p = rng.gen_range(0.2..0.9);
+        let graph = qgraph::generate::erdos_renyi(n, p, &mut rng).expect("valid shape");
+        for _ in 0..4 {
+            let gamma = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let beta = rng.gen_range(0.0..std::f64::consts::PI);
+            assert_matches(&graph, gamma, beta, &format!("ER trial {trial} (n={n})"));
+        }
+    }
+}
+
+#[test]
+fn random_regular_graphs_match_closed_form() {
+    let mut rng = StdRng::seed_from_u64(777);
+    for trial in 0..12 {
+        let n = 2 * rng.gen_range(2usize..=5); // even so odd degrees are feasible
+        let d = rng.gen_range(2usize..n.min(6));
+        let graph = qgraph::generate::random_regular(n, d, &mut rng).expect("feasible");
+        for _ in 0..4 {
+            let gamma = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let beta = rng.gen_range(0.0..std::f64::consts::PI);
+            assert_matches(
+                &graph,
+                gamma,
+                beta,
+                &format!("regular trial {trial} (n={n}, d={d})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn triangle_heavy_graphs_exercise_the_lambda_term() {
+    // Complete graphs maximize common neighbors per edge, stressing the
+    // cos^λ(2γ) factor that random sparse graphs barely touch.
+    let mut rng = StdRng::seed_from_u64(99);
+    for n in 3..=8 {
+        let graph = Graph::complete(n).expect("valid size");
+        for _ in 0..5 {
+            let gamma = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let beta = rng.gen_range(0.0..std::f64::consts::PI);
+            assert_matches(&graph, gamma, beta, &format!("K{n}"));
+        }
+    }
+}
+
+#[test]
+fn angle_grid_on_one_fixed_graph() {
+    // A deterministic dense sweep on one graph catches angle-dependent sign
+    // errors that sparse random sampling can miss.
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = qgraph::generate::random_regular(8, 3, &mut rng).expect("feasible");
+    for i in 0..12 {
+        for j in 0..12 {
+            let gamma = i as f64 * std::f64::consts::PI / 6.0;
+            let beta = j as f64 * std::f64::consts::PI / 12.0;
+            assert_matches(&graph, gamma, beta, "grid");
+        }
+    }
+}

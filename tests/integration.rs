@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: each test exercises at least two crates
 //! through their public APIs.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
 
 use gnn::{GnnKind, GnnModel, ModelConfig};
 use qaoa::optimize::{GridSearch, Maximizer, NelderMead};
