@@ -1,0 +1,37 @@
+//! End-to-end dataset-labeling benchmark: `Dataset::label_graphs` on a
+//! paper-shaped batch (2–15 nodes, degree 2–14) at 1/2/4/8 worker
+//! threads — the parallel-scaling profile of the §3.1 hot path.
+//!
+//! Results stream as JSON lines like every other qbench target; pass
+//! `-- --test` for the CI smoke mode.
+
+use qbench::Bench;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
+
+use qaoa_gnn::dataset::{Dataset, LabelConfig};
+use qgraph::generate::DatasetSpec;
+
+fn main() {
+    let mut bench = Bench::from_env();
+    // One paper-shaped batch, generated once and labeled under every
+    // thread count so the scaling numbers share inputs.
+    let mut rng = StdRng::seed_from_u64(42);
+    let graphs = DatasetSpec::with_count(24)
+        .generate(&mut rng)
+        .expect("paper-shaped spec is valid");
+    // A fraction of the paper's 500-iteration budget keeps one labeling
+    // pass CI-sized while preserving the per-graph work profile.
+    let base = LabelConfig::quick(60);
+
+    bench.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let config = base.clone().with_threads(threads);
+        let graphs = &graphs;
+        bench.bench_with_input("label_graphs_n24", threads, move || {
+            let ds = Dataset::label_graphs(graphs, &config, 7);
+            ds.mean_approx_ratio()
+        });
+    }
+    bench.finish();
+}

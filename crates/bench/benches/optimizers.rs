@@ -1,56 +1,57 @@
 //! Micro-benchmarks of the classical outer-loop optimizers — the cost
 //! of labeling one dataset entry (§3.1 does this 9598 times at 500
-//! iterations each).
+//! iterations each). Objectives run on one [`Evaluator`] scratch buffer,
+//! exactly like the labeling hot path.
 
 use qbench::Bench;
 use qrand::rngs::StdRng;
 use qrand::SeedableRng;
 
 use qaoa::optimize::{FiniteDiffAdam, GridSearch, Maximizer, NelderMead, Spsa};
-use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa::{Evaluator, MaxCutHamiltonian, QaoaCircuit};
 
-fn labeled_objective() -> impl Fn(&[f64]) -> f64 {
+fn labeled_circuit() -> QaoaCircuit {
     let mut rng = StdRng::seed_from_u64(11);
     let graph = qgraph::generate::random_regular(10, 3, &mut rng).expect("feasible shape");
-    let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&graph));
-    move |flat: &[f64]| {
-        let params = Params::from_flat(flat).expect("even length");
-        circuit.expectation(&params)
-    }
+    QaoaCircuit::new(MaxCutHamiltonian::new(&graph))
 }
 
 fn bench_optimizers_50_iters(bench: &mut Bench) {
-    let objective = labeled_objective();
+    let circuit = labeled_circuit();
+    let mut evaluator = Evaluator::new(&circuit);
+    let mut objective = |flat: &[f64]| evaluator.expectation_flat(flat);
     let start = [0.3, 0.2];
     bench.sample_size(10);
 
     bench.bench("optimize_50_iters_n10/nelder_mead", || {
         let mut rng = StdRng::seed_from_u64(1);
-        NelderMead::new(50).maximize(&objective, &start, &mut rng)
+        NelderMead::new(50).maximize(&mut objective, &start, &mut rng)
     });
     bench.bench("optimize_50_iters_n10/spsa", || {
         let mut rng = StdRng::seed_from_u64(1);
-        Spsa::new(50).maximize(&objective, &start, &mut rng)
+        Spsa::new(50).maximize(&mut objective, &start, &mut rng)
     });
     bench.bench("optimize_50_iters_n10/finite_diff_adam", || {
         let mut rng = StdRng::seed_from_u64(1);
-        FiniteDiffAdam::new(50).maximize(&objective, &start, &mut rng)
+        FiniteDiffAdam::new(50).maximize(&mut objective, &start, &mut rng)
     });
     bench.bench("optimize_50_iters_n10/grid_32x32", || {
         let mut rng = StdRng::seed_from_u64(1);
-        GridSearch { resolution: 32 }.maximize(&objective, &start, &mut rng)
+        GridSearch { resolution: 32 }.maximize(&mut objective, &start, &mut rng)
     });
 }
 
 fn bench_labeling_budget(bench: &mut Bench) {
     // Full paper budget (500 Nelder–Mead iterations) on one mid-size graph.
-    let objective = labeled_objective();
+    let circuit = labeled_circuit();
+    let mut evaluator = Evaluator::new(&circuit);
+    let mut objective = |flat: &[f64]| evaluator.expectation_flat(flat);
     bench.sample_size(10);
     for iters in [100usize, 500] {
-        let objective = &objective;
+        let objective = &mut objective;
         bench.bench_with_input("label_one_graph", iters, move || {
             let mut rng = StdRng::seed_from_u64(2);
-            NelderMead::new(iters).maximize(objective, &[0.3, 0.2], &mut rng)
+            NelderMead::new(iters).maximize(&mut *objective, &[0.3, 0.2], &mut rng)
         });
     }
 }

@@ -21,14 +21,11 @@ fn main() {
     let mut rows = Vec::new();
     for layers in [1usize, 2, 3] {
         for hidden in [16usize, 32, 64] {
-            let config = PipelineConfig {
-                model: ModelConfig {
-                    layers,
-                    hidden_dim: hidden,
-                    ..ModelConfig::default()
-                },
-                ..base.clone()
-            };
+            let config = base.clone().with_model(ModelConfig {
+                layers,
+                hidden_dim: hidden,
+                ..ModelConfig::default()
+            });
             let mut rng = StdRng::seed_from_u64(base.seed ^ 0xa6c4);
             let p = Pipeline::run_on_dataset(GnnKind::Gin, dataset.clone(), &config, &mut rng);
             rows.push(vec![
@@ -62,13 +59,10 @@ fn main() {
     // Readout sweep (Eq. 9 leaves READOUT open; the paper uses mean).
     let mut rows = Vec::new();
     for readout in [gnn::Readout::Mean, gnn::Readout::Sum, gnn::Readout::Max] {
-        let config = PipelineConfig {
-            model: ModelConfig {
-                readout,
-                ..ModelConfig::default()
-            },
-            ..base.clone()
-        };
+        let config = base.clone().with_model(ModelConfig {
+            readout,
+            ..ModelConfig::default()
+        });
         let mut rng = StdRng::seed_from_u64(base.seed ^ 0xa6c4);
         let p = Pipeline::run_on_dataset(GnnKind::Gin, dataset.clone(), &config, &mut rng);
         rows.push(vec![

@@ -24,10 +24,7 @@ fn main() {
     let mut rows = Vec::new();
     for &threshold in &thresholds {
         for &rate in &rates {
-            let config = PipelineConfig {
-                sdp: Some(SdpConfig::new(threshold, rate)),
-                ..base.clone()
-            };
+            let config = base.clone().with_sdp(Some(SdpConfig::new(threshold, rate)));
             let mut rng = StdRng::seed_from_u64(base.seed ^ 0x51);
             let p = Pipeline::run_on_dataset(GnnKind::Gin, dataset.clone(), &config, &mut rng);
             let stats = p.sdp_stats.expect("sdp enabled");

@@ -7,12 +7,14 @@
 //! provides an approximation ratio (AR) for these solutions compared to the
 //! optimal solutions derived from a brute-force search approach."
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use qrand::rngs::StdRng;
 use qrand::{Rng, SeedableRng};
 
 use qaoa::optimize::NelderMead;
 use qaoa::warm_start::{self, InitStrategy};
-use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa::{Evaluator, MaxCutHamiltonian, Params, QaoaCircuit};
 use qgraph::generate::DatasetSpec;
 use qgraph::Graph;
 
@@ -69,6 +71,24 @@ impl LabelConfig {
             ..LabelConfig::default()
         }
     }
+
+    /// Builder-style: sets the QAOA depth `p`.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Builder-style: sets the optimizer iteration budget per graph.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Builder-style: sets the worker-thread count for parallel labeling.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// Labels one graph: random init, `iterations` of Nelder–Mead, AR against
@@ -78,10 +98,14 @@ pub fn label_graph<R: Rng + ?Sized>(
     config: &LabelConfig,
     rng: &mut R,
 ) -> LabeledGraph {
-    let hamiltonian = MaxCutHamiltonian::new(graph);
+    let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(graph));
+    // One evaluator carries the whole label: the optimization trace, the
+    // canonicalization probes, and the final expectation all run in the
+    // same scratch state vector — zero state-vector allocations past here.
+    let mut evaluator = Evaluator::new(&circuit);
     let optimizer = NelderMead::new(config.iterations);
-    let outcome = warm_start::run(
-        &hamiltonian,
+    let outcome = warm_start::run_with(
+        &mut evaluator,
         Params::random(config.depth, rng),
         InitStrategy::Random,
         &optimizer,
@@ -89,9 +113,9 @@ pub fn label_graph<R: Rng + ?Sized>(
     );
     // Fold the optimum into the graph-aware fundamental domain so that
     // equal-quality mirror optima produce one label cluster, not two.
-    let circuit = QaoaCircuit::new(hamiltonian.clone());
-    let params = circuit.canonical_label(&outcome.final_params);
-    let expectation = circuit.expectation(&params);
+    let params = evaluator.canonical_label(&outcome.final_params);
+    let expectation = evaluator.expectation_in_place(&params);
+    let hamiltonian = circuit.hamiltonian();
     LabeledGraph {
         graph: graph.clone(),
         params,
@@ -114,30 +138,46 @@ impl Dataset {
     /// substream derived from `seed` and its index, so results are
     /// bit-identical for a given seed regardless of the thread count, and
     /// keep input order.
+    ///
+    /// Workers pull indices from a shared queue rather than owning fixed
+    /// chunks: labeling cost grows as `2^n`, so a paper-shaped batch mixes
+    /// microsecond 2-node graphs with millisecond 15-node ones, and static
+    /// chunking would leave every other worker idle behind whichever chunk
+    /// drew the large graphs.
     pub fn label_graphs(graphs: &[Graph], config: &LabelConfig, seed: u64) -> Dataset {
         if graphs.is_empty() {
             return Dataset::default();
         }
         let threads = worker_count(config.threads, graphs.len());
-        let mut entries: Vec<Option<LabeledGraph>> = vec![None; graphs.len()];
-        let chunk = graphs.len().div_ceil(threads);
+        let next = AtomicUsize::new(0);
+        let mut per_worker: Vec<Vec<(usize, LabeledGraph)>> = Vec::new();
         std::thread::scope(|scope| {
-            for (t, (graph_chunk, out_chunk)) in graphs
-                .chunks(chunk)
-                .zip(entries.chunks_mut(chunk))
-                .enumerate()
-            {
-                scope.spawn(move || {
-                    for (i, (graph, out)) in
-                        graph_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
-                    {
-                        let index = (t * chunk + i) as u64;
-                        let mut rng = StdRng::substream(seed, index);
-                        *out = Some(label_graph(graph, config, &mut rng));
-                    }
-                });
-            }
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut labeled = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= graphs.len() {
+                                break;
+                            }
+                            let mut rng = StdRng::substream(seed, index as u64);
+                            labeled.push((index, label_graph(&graphs[index], config, &mut rng)));
+                        }
+                        labeled
+                    })
+                })
+                .collect();
+            per_worker = workers
+                .into_iter()
+                .map(|w| w.join().expect("labeling worker panicked"))
+                .collect();
         });
+        let mut entries: Vec<Option<LabeledGraph>> = vec![None; graphs.len()];
+        for (index, entry) in per_worker.into_iter().flatten() {
+            entries[index] = Some(entry);
+        }
         Dataset {
             entries: entries
                 .into_iter()
@@ -243,6 +283,17 @@ mod tests {
         assert_eq!(worker_count(0, 5), 1); // at least one worker
         assert_eq!(worker_count(4, 0), 1); // empty input still well-defined
         assert_eq!(worker_count(4, 4), 4);
+    }
+
+    #[test]
+    fn label_config_builder_chains() {
+        let config = LabelConfig::quick(200).with_depth(2).with_threads(3);
+        assert_eq!(config.depth, 2);
+        assert_eq!(config.iterations, 200);
+        assert_eq!(config.threads, 3);
+        let rebudgeted = config.clone().with_iterations(50);
+        assert_eq!(rebudgeted.iterations, 50);
+        assert_eq!(rebudgeted.depth, 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use qrand::Rng;
 use gnn::GnnModel;
 use qaoa::optimize::NelderMead;
 use qaoa::warm_start::{self, InitStrategy};
-use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa::{Evaluator, MaxCutHamiltonian, Params, QaoaCircuit};
 use qgraph::stats::mean_std;
 use qgraph::Graph;
 
@@ -108,20 +108,20 @@ impl EvaluationReport {
 }
 
 /// Measures one initialization's approximation ratio, optionally refined by
-/// optimization.
+/// optimization. Both conditions share the caller's evaluator, so one
+/// scratch state vector serves the whole comparison.
 fn measure<R: Rng + ?Sized>(
-    hamiltonian: &MaxCutHamiltonian,
+    evaluator: &mut Evaluator<'_>,
     initial: Params,
     strategy: InitStrategy,
     config: &EvalConfig,
     rng: &mut R,
 ) -> f64 {
     if config.refine_iterations == 0 {
-        let circuit = QaoaCircuit::new(hamiltonian.clone());
-        return hamiltonian.approximation_ratio(circuit.expectation(&initial));
+        return evaluator.approximation_ratio_in_place(&initial);
     }
     let optimizer = NelderMead::new(config.refine_iterations);
-    warm_start::run(hamiltonian, initial, strategy, &optimizer, rng).final_ratio
+    warm_start::run_with(evaluator, initial, strategy, &optimizer, rng).final_ratio
 }
 
 /// Compares GNN-predicted against random initialization on one graph.
@@ -131,9 +131,10 @@ pub fn compare_on_graph<R: Rng + ?Sized>(
     config: &EvalConfig,
     rng: &mut R,
 ) -> GraphComparison {
-    let hamiltonian = MaxCutHamiltonian::new(graph);
+    let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(graph));
+    let mut evaluator = Evaluator::new(&circuit);
     let random_ratio = measure(
-        &hamiltonian,
+        &mut evaluator,
         Params::random(config.depth, rng),
         InitStrategy::Random,
         config,
@@ -143,7 +144,7 @@ pub fn compare_on_graph<R: Rng + ?Sized>(
     // The model predicts a single (γ, β) pair; deeper evaluations tile it.
     let gnn_params = Params::new(vec![gamma; config.depth], vec![beta; config.depth]);
     let gnn_ratio = measure(
-        &hamiltonian,
+        &mut evaluator,
         gnn_params,
         InitStrategy::Predicted,
         config,

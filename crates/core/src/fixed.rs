@@ -8,7 +8,7 @@
 //! JPMorgan lookup on "about 6% of our dataset".
 
 
-use qaoa::{fixed_angle, MaxCutHamiltonian, QaoaCircuit};
+use qaoa::{fixed_angle, Evaluator, MaxCutHamiltonian, QaoaCircuit};
 
 use crate::dataset::Dataset;
 
@@ -41,10 +41,10 @@ pub fn augment(dataset: &Dataset) -> (Dataset, FixedAngleStats) {
             if entry.params.depth() != 1 {
                 return entry.clone();
             }
-            let hamiltonian = MaxCutHamiltonian::new(&entry.graph);
-            let circuit = QaoaCircuit::new(hamiltonian.clone());
-            let expectation = circuit.expectation(&fa.params);
-            let ratio = hamiltonian.approximation_ratio(expectation);
+            let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&entry.graph));
+            let mut evaluator = Evaluator::new(&circuit);
+            let expectation = evaluator.expectation_in_place(&fa.params);
+            let ratio = circuit.hamiltonian().approximation_ratio(expectation);
             if ratio > entry.approx_ratio {
                 improved += 1;
                 total_gain += ratio - entry.approx_ratio;

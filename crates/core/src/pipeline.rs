@@ -70,12 +70,85 @@ impl PipelineConfig {
     }
 
     /// Selects [`Self::paper_scale`] when the `QAOA_GNN_FULL` environment
-    /// variable is set to a non-empty, non-`0` value, else [`Self::quick`].
+    /// variable is set to a non-empty, non-`0` value, else [`Self::quick`],
+    /// then applies optional env overrides through the builder methods —
+    /// the same construction path callers use in code:
+    ///
+    /// * `QAOA_GNN_THREADS` — labeling worker threads.
+    /// * `QAOA_GNN_ITERATIONS` — optimizer iterations per labeled graph.
+    /// * `QAOA_GNN_SEED` — master seed.
     pub fn from_env() -> Self {
-        match std::env::var("QAOA_GNN_FULL") {
-            Ok(v) if !v.is_empty() && v != "0" => Self::paper_scale(),
-            _ => Self::quick(),
+        let full = matches!(std::env::var("QAOA_GNN_FULL"), Ok(v) if !v.is_empty() && v != "0");
+        let mut config = if full { Self::paper_scale() } else { Self::quick() };
+        let parse = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        if let Some(threads) = parse("QAOA_GNN_THREADS") {
+            config = config.with_threads(threads as usize);
         }
+        if let Some(iterations) = parse("QAOA_GNN_ITERATIONS") {
+            config = config.with_iterations(iterations as usize);
+        }
+        if let Some(seed) = parse("QAOA_GNN_SEED") {
+            config = config.with_seed(seed);
+        }
+        config
+    }
+
+    /// Builder-style: sets the labeling worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.labeling = self.labeling.with_threads(threads);
+        self
+    }
+
+    /// Builder-style: sets the optimizer iteration budget per labeled graph.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.labeling = self.labeling.with_iterations(iterations);
+        self
+    }
+
+    /// Builder-style: sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: sets the dataset shape.
+    pub fn with_dataset(mut self, dataset: DatasetSpec) -> Self {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Builder-style: sets the held-out test-set size.
+    pub fn with_test_size(mut self, test_size: usize) -> Self {
+        self.test_size = test_size;
+        self
+    }
+
+    /// Builder-style: sets (or disables, with `None`) the SDP pass.
+    pub fn with_sdp(mut self, sdp: Option<SdpConfig>) -> Self {
+        self.sdp = sdp;
+        self
+    }
+
+    /// Builder-style: enables or disables fixed-angle augmentation.
+    pub fn with_fixed_angles(mut self, fixed_angles: bool) -> Self {
+        self.fixed_angles = fixed_angles;
+        self
+    }
+
+    /// Builder-style: sets the model hyper-parameters.
+    pub fn with_model(mut self, model: ModelConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Builder-style: sets the training hyper-parameters.
+    pub fn with_training(mut self, training: TrainConfig) -> Self {
+        self.training = training;
+        self
     }
 }
 
@@ -251,6 +324,29 @@ mod tests {
         assert_eq!(paper.labeling.iterations, 500);
         assert_eq!(paper.test_size, 100);
         assert_eq!(paper.training.epochs, 100);
+    }
+
+    #[test]
+    fn builder_chain_overrides_fields() {
+        let config = PipelineConfig::quick()
+            .with_threads(8)
+            .with_iterations(200)
+            .with_seed(7)
+            .with_test_size(12)
+            .with_dataset(DatasetSpec::with_count(50))
+            .with_sdp(None)
+            .with_fixed_angles(false)
+            .with_training(TrainConfig::quick(5));
+        assert_eq!(config.labeling.threads, 8);
+        assert_eq!(config.labeling.iterations, 200);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.test_size, 12);
+        assert_eq!(config.dataset.count, 50);
+        assert!(config.sdp.is_none());
+        assert!(!config.fixed_angles);
+        assert_eq!(config.training.epochs, 5);
+        // Untouched fields keep their quick() values.
+        assert_eq!(config.model, PipelineConfig::quick().model);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 use qrand::Rng;
 
-use qsim::{gates, StateVector};
+use qsim::StateVector;
 
-use crate::{MaxCutHamiltonian, Params};
+use crate::{Evaluator, MaxCutHamiltonian, Params};
 
 /// A p-layer QAOA circuit for one Max-Cut instance.
 ///
@@ -47,24 +47,34 @@ impl QaoaCircuit {
     }
 
     /// Runs the circuit and returns the final state.
+    ///
+    /// **Convenience only** — allocates a fresh state vector (and a whole
+    /// [`Evaluator`]) per call. Anything that evaluates more than once per
+    /// instance — optimizers, labeling, landscape scans — should hold an
+    /// [`Evaluator`] and use [`Evaluator::run_into`] instead; this wrapper
+    /// exists for doctests, examples, and one-shot probes. Results are
+    /// bit-identical to the evaluator path (it *is* the evaluator path).
     pub fn run(&self, params: &Params) -> StateVector {
-        let mut psi = StateVector::uniform_superposition(self.num_qubits());
-        for (&gamma, &beta) in params.gammas().iter().zip(params.betas()) {
-            self.hamiltonian.operator().apply_phase(&mut psi, gamma);
-            gates::rx_all(&mut psi, 2.0 * beta);
-        }
-        psi
+        let mut evaluator = Evaluator::new(self);
+        evaluator.run_into(params);
+        evaluator.into_state()
     }
 
     /// The QAOA objective `⟨γ,β|C|γ,β⟩`.
+    ///
+    /// **Convenience only** — see [`Self::run`]; hot paths should use
+    /// [`Evaluator::expectation_in_place`] or
+    /// [`Evaluator::expectation_flat`].
     pub fn expectation(&self, params: &Params) -> f64 {
-        self.hamiltonian.operator().expectation(&self.run(params))
+        Evaluator::new(self).expectation_in_place(params)
     }
 
     /// Expectation-based approximation ratio at the given parameters.
+    ///
+    /// **Convenience only** — see [`Self::run`]; hot paths should use
+    /// [`Evaluator::approximation_ratio_in_place`].
     pub fn approximation_ratio(&self, params: &Params) -> f64 {
-        self.hamiltonian
-            .approximation_ratio(self.expectation(params))
+        Evaluator::new(self).approximation_ratio_in_place(params)
     }
 
     /// Canonicalizes optimizer output into a deterministic regression label.
@@ -81,31 +91,12 @@ impl QaoaCircuit {
     /// actual circuit expectation and returns the representative with the
     /// smallest leading `γ` among those that lose nothing, so every label
     /// lands in one cluster.
+    ///
+    /// **Convenience only** — evaluates the circuit three times; labeling
+    /// loops should call [`Evaluator::canonical_label`] on an evaluator
+    /// they already hold.
     pub fn canonical_label(&self, params: &Params) -> Params {
-        use std::f64::consts::{FRAC_PI_2, PI};
-        let base = params.canonical();
-        let value = self.expectation(&base);
-        let mirror = |flip_beta: bool| {
-            Params::new(
-                base.gammas().iter().map(|g| PI - g).collect(),
-                base.betas()
-                    .iter()
-                    .map(|b| if flip_beta { FRAC_PI_2 - b } else { *b })
-                    .collect(),
-            )
-            .canonical()
-        };
-        let candidates = [mirror(true), mirror(false)];
-        let mut best = base;
-        for candidate in candidates {
-            // Only fold images that really are symmetries of this instance;
-            // on irregular graphs a mirror may land anywhere.
-            let symmetric = (self.expectation(&candidate) - value).abs() <= 1e-9;
-            if symmetric && candidate.to_flat() < best.to_flat() {
-                best = candidate;
-            }
-        }
-        best
+        Evaluator::new(self).canonical_label(params)
     }
 
     /// Samples `shots` measurement outcomes from the final state and returns
@@ -117,7 +108,8 @@ impl QaoaCircuit {
         shots: usize,
         rng: &mut R,
     ) -> f64 {
-        let psi = self.run(params);
+        let mut evaluator = Evaluator::new(self);
+        let psi = evaluator.run_into(params);
         let values = self.hamiltonian.operator().values();
         (0..shots)
             .map(|_| values[psi.sample(rng) as usize])

@@ -8,7 +8,7 @@
 //! of the global optimum — the quantities behind the warm-start motivation.
 
 
-use crate::{MaxCutHamiltonian, Params, QaoaCircuit};
+use crate::{Evaluator, MaxCutHamiltonian, QaoaCircuit};
 
 /// A dense scan of the p=1 objective over the canonical domain
 /// `γ ∈ [0, π] × β ∈ [0, π/2]`.
@@ -33,12 +33,15 @@ impl Landscape {
     pub fn scan(hamiltonian: &MaxCutHamiltonian, resolution: usize) -> Self {
         assert!(resolution >= 3, "resolution must be at least 3");
         let circuit = QaoaCircuit::new(hamiltonian.clone());
+        // One evaluator for the whole scan: resolution² circuit runs on a
+        // single scratch buffer.
+        let mut evaluator = Evaluator::new(&circuit);
         let mut values = Vec::with_capacity(resolution * resolution);
         for i in 0..resolution {
             let gamma = std::f64::consts::PI * i as f64 / (resolution - 1) as f64;
             for j in 0..resolution {
                 let beta = std::f64::consts::FRAC_PI_2 * j as f64 / (resolution - 1) as f64;
-                values.push(circuit.expectation(&Params::new(vec![gamma], vec![beta])));
+                values.push(evaluator.expectation_flat(&[gamma, beta]));
             }
         }
         Landscape {

@@ -10,6 +10,11 @@
 //! * [`QaoaCircuit`] — prepares `|+⟩^n`, alternates phase separation
 //!   `e^{-iγC}` and mixer `e^{-iβΣX}` layers on the [`qsim`] simulator, and
 //!   evaluates the expectation `⟨C⟩`.
+//! * [`Evaluator`] — the execution engine behind `QaoaCircuit`: owns a
+//!   scratch state vector and runs every layer on [`qsim::fused`] kernels,
+//!   so optimization traces perform zero state-vector allocations after
+//!   setup. Hot paths (optimizers, labeling, landscape scans) use this
+//!   directly; the one-shot `QaoaCircuit` calls are convenience wrappers.
 //! * [`analytic`] — the closed-form p=1 edge expectation (Wang et al.),
 //!   used both as an independent oracle for simulator tests and as the basis
 //!   of the fixed-angle module.
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod circuit;
+mod evaluator;
 mod hamiltonian;
 mod params;
 
@@ -54,5 +60,6 @@ pub mod optimize;
 pub mod warm_start;
 
 pub use circuit::QaoaCircuit;
+pub use evaluator::Evaluator;
 pub use hamiltonian::MaxCutHamiltonian;
 pub use params::Params;

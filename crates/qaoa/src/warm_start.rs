@@ -9,7 +9,7 @@
 use qrand::Rng;
 
 use crate::optimize::{Maximizer, OptimizationResult};
-use crate::{MaxCutHamiltonian, Params, QaoaCircuit};
+use crate::{Evaluator, MaxCutHamiltonian, Params, QaoaCircuit};
 
 /// How the initial parameters were chosen — the experimental condition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +67,10 @@ impl WarmStartOutcome {
 
 /// Runs QAOA on `hamiltonian` starting from `initial` parameters, optimizing
 /// with `optimizer`, and reports the full outcome.
+///
+/// Builds one [`Evaluator`] for the whole trajectory and delegates to
+/// [`run_with`]; callers that already hold an evaluator (e.g. the dataset
+/// labeler, which canonicalizes afterwards) should call that directly.
 pub fn run<M, R>(
     hamiltonian: &MaxCutHamiltonian,
     initial: Params,
@@ -79,18 +83,38 @@ where
     R: Rng + ?Sized,
 {
     let circuit = QaoaCircuit::new(hamiltonian.clone());
-    let initial_expectation = circuit.expectation(&initial);
-    let objective = |flat: &[f64]| {
-        let params = Params::from_flat(flat).expect("optimizer preserves layout");
-        circuit.expectation(&params)
-    };
+    let mut evaluator = Evaluator::new(&circuit);
+    run_with(&mut evaluator, initial, strategy, optimizer, rng)
+}
+
+/// [`run`] on a caller-supplied [`Evaluator`]: the entire optimization
+/// trace — initial evaluation plus every objective call the optimizer
+/// makes — executes in the evaluator's scratch buffer with zero
+/// state-vector allocations.
+pub fn run_with<M, R>(
+    evaluator: &mut Evaluator<'_>,
+    initial: Params,
+    strategy: InitStrategy,
+    optimizer: &M,
+    rng: &mut R,
+) -> WarmStartOutcome
+where
+    M: Maximizer,
+    R: Rng + ?Sized,
+{
+    let initial_expectation = evaluator.expectation_in_place(&initial);
     let OptimizationResult {
         best_point,
         best_value,
         history,
         evaluations,
-    } = optimizer.maximize(objective, &initial.to_flat(), rng);
+    } = optimizer.maximize(
+        |flat: &[f64]| evaluator.expectation_flat(flat),
+        &initial.to_flat(),
+        rng,
+    );
     let final_params = Params::from_flat(&best_point).expect("optimizer preserves layout");
+    let hamiltonian = evaluator.circuit().hamiltonian();
     WarmStartOutcome {
         strategy,
         initial_params: initial,

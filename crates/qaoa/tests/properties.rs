@@ -5,7 +5,7 @@ use qrand::rngs::StdRng;
 use qrand::SeedableRng;
 
 use qaoa::optimize::{Maximizer, NelderMead, Spsa};
-use qaoa::{analytic, MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa::{analytic, Evaluator, MaxCutHamiltonian, Params, QaoaCircuit};
 use qgraph::generate;
 
 /// The suite's "arbitrary graph": a seeded Erdős–Rényi draw, built from
@@ -129,6 +129,32 @@ properties! {
         // History is monotone best-so-far.
         for w in outcome.history.windows(2) {
             prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    fn evaluator_reuse_is_bit_identical_to_fresh_runs(
+        n in 3usize..9,
+        p in 0.2f64..0.9,
+        seed in any_u64(),
+        angles in vec(-3.0f64..3.0, 2usize..10),
+    ) {
+        let g = build_graph(n, p, seed);
+        let depth = angles.len() / 2;
+        prop_assume!(depth >= 1);
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&g));
+        let mut evaluator = Evaluator::new(&circuit);
+        // Reuse one scratch buffer across several parameter sets; every
+        // run must equal a fresh one-shot evaluation bit for bit.
+        for shift in 0..3 {
+            let offset = 0.1 * shift as f64;
+            let params = Params::new(
+                angles[..depth].iter().map(|a| a + offset).collect(),
+                angles[depth..2 * depth].iter().map(|a| a - offset).collect(),
+            );
+            let reused = evaluator.expectation_in_place(&params);
+            let fresh = circuit.expectation(&params);
+            prop_assert_eq!(reused.to_bits(), fresh.to_bits());
+            prop_assert_eq!(evaluator.run_into(&params), &circuit.run(&params));
         }
     }
 

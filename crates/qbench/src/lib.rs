@@ -71,6 +71,7 @@ pub struct Bench {
     warmup_ms: u64,
     target_ms: u64,
     filter: Option<String>,
+    smoke: bool,
     results: Vec<Stats>,
 }
 
@@ -82,6 +83,7 @@ impl Bench {
             warmup_ms,
             target_ms: target_ms.max(1),
             filter: None,
+            smoke: false,
             results: Vec::new(),
         }
     }
@@ -112,13 +114,19 @@ impl Bench {
             bench.samples = 3;
             bench.warmup_ms = 0;
             bench.target_ms = 1;
+            bench.smoke = true;
         }
         bench
     }
 
-    /// Overrides the per-benchmark sample count (chainable).
+    /// Overrides the per-benchmark sample count (chainable). Ignored in
+    /// `--test` smoke mode, whose minimal settings are authoritative —
+    /// benches tune sample counts for measurement, CI only needs to know
+    /// the body runs.
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
-        self.samples = samples.max(3);
+        if !self.smoke {
+            self.samples = samples.max(3);
+        }
         self
     }
 

@@ -109,6 +109,23 @@ impl DiagonalOperator {
         }
     }
 
+    /// One fused QAOA layer: [`Self::apply_phase`] with angle `theta`
+    /// followed by an `RX(rx_theta)` mixer on every qubit, executed by the
+    /// fused kernel [`crate::fused::phase_rx_all`] in `⌈n/2⌉` amplitude
+    /// sweeps instead of `n + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn apply_phase_rx_all(&self, psi: &mut StateVector, theta: f64, rx_theta: f64) {
+        assert_eq!(
+            psi.num_qubits(),
+            self.num_qubits,
+            "operator and state qubit counts must match"
+        );
+        crate::fused::phase_rx_all(psi, &self.values, theta, rx_theta);
+    }
+
     /// Expectation `⟨ψ|D|ψ⟩`.
     ///
     /// # Panics
@@ -218,6 +235,26 @@ mod tests {
         gates::rzz(&mut b, 0, 1, 0.33);
         op.apply_phase(&mut b, 0.9);
         assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_layer_matches_phase_then_mixer() {
+        let op = DiagonalOperator::from_fn(4, |z| z.count_ones() as f64);
+        let mut fused = StateVector::uniform_superposition(4);
+        gates::ry(&mut fused, 1, 0.6); // asymmetrize
+        let mut unfused = fused.clone();
+        op.apply_phase_rx_all(&mut fused, 0.53, 0.71);
+        op.apply_phase(&mut unfused, 0.53);
+        gates::rx_all(&mut unfused, 0.71);
+        assert!((fused.fidelity(&unfused) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit counts must match")]
+    fn fused_layer_rejects_mismatched_state() {
+        let op = DiagonalOperator::from_fn(2, |z| z as f64);
+        let mut psi = StateVector::uniform_superposition(3);
+        op.apply_phase_rx_all(&mut psi, 0.1, 0.2);
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Fused whole-register kernels for the QAOA labeling hot path.
+//!
+//! One QAOA layer is a diagonal phase `e^{-iγC}` followed by the mixer
+//! `RX(2β)` on every qubit. Applied gate by gate that is `n + 1` full
+//! sweeps over the `2^n` amplitudes per layer; the kernels here cut that
+//! down in two ways:
+//!
+//! * **Qubit pairing.** `RX(θ)^⊗2` on a qubit pair is a single 4-amplitude
+//!   butterfly, so [`rx_all`] processes qubits two at a time — `⌈n/2⌉`
+//!   sweeps instead of `n`, and with shared sub-expressions fewer flops
+//!   per amplitude than two independent 2×2 butterflies.
+//! * **Phase fusion.** The diagonal phase is per-amplitude, so
+//!   [`phase_rx_all`] folds it into the first mixer sweep: each amplitude
+//!   is phased as it is first loaded, eliminating one full memory pass
+//!   (and one pass of `cis` multiplications) per layer.
+//!
+//! Both kernels are exact — the golden equivalence suite in
+//! `tests/fused.rs` pins them against the gate-by-gate path to 1e-12 —
+//! and allocation-free: they mutate the state in place.
+
+use crate::{Complex, StateVector};
+
+/// Precomputed constants for the two-qubit `RX(θ)⊗RX(θ)` butterfly.
+///
+/// With `c = cos(θ/2)`, `s = sin(θ/2)` the tensor square works out to
+/// (writing `p = x01 + x10`, `q = x00 + x11`):
+///
+/// ```text
+/// y00 = c²·x00 − s²·x11 − i·cs·p
+/// y01 = c²·x01 − s²·x10 − i·cs·q
+/// y10 = c²·x10 − s²·x01 − i·cs·q
+/// y11 = c²·x11 − s²·x00 − i·cs·p
+/// ```
+#[derive(Clone, Copy)]
+struct RxPair {
+    cc: f64,
+    ss: f64,
+    cs: f64,
+}
+
+impl RxPair {
+    fn new(theta: f64) -> Self {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        RxPair {
+            cc: c * c,
+            ss: s * s,
+            cs: c * s,
+        }
+    }
+
+    /// One 4-amplitude butterfly.
+    #[inline(always)]
+    fn butterfly(self, x00: Complex, x01: Complex, x10: Complex, x11: Complex) -> [Complex; 4] {
+        let p = x01 + x10;
+        let q = x00 + x11;
+        // Multiplication by −i·cs: −i·(re + i·im) = im − i·re.
+        let rot_p = Complex::new(self.cs * p.im, -self.cs * p.re);
+        let rot_q = Complex::new(self.cs * q.im, -self.cs * q.re);
+        [
+            x00.scale(self.cc) - x11.scale(self.ss) + rot_p,
+            x01.scale(self.cc) - x10.scale(self.ss) + rot_q,
+            x10.scale(self.cc) - x01.scale(self.ss) + rot_q,
+            x11.scale(self.cc) - x00.scale(self.ss) + rot_p,
+        ]
+    }
+}
+
+/// Applies the `RX(θ)⊗RX(θ)` butterfly to qubit pair `(a, b)`, `a < b`,
+/// in one sweep.
+fn rx_pair_sweep(amps: &mut [Complex], a: usize, b: usize, k: RxPair) {
+    let sa = 1usize << a;
+    let sb = 1usize << b;
+    let dim = amps.len();
+    let mut hi = 0;
+    while hi < dim {
+        let mut mid = hi;
+        while mid < hi + sb {
+            for i00 in mid..mid + sa {
+                let i01 = i00 + sa;
+                let i10 = i00 + sb;
+                let i11 = i10 + sa;
+                let y = k.butterfly(amps[i00], amps[i01], amps[i10], amps[i11]);
+                amps[i00] = y[0];
+                amps[i01] = y[1];
+                amps[i10] = y[2];
+                amps[i11] = y[3];
+            }
+            mid += 2 * sa;
+        }
+        hi += 2 * sb;
+    }
+}
+
+/// Like [`rx_pair_sweep`] on pair `(0, 1)`, but multiplies each amplitude
+/// by `e^{-iγ·values[i]}` as it is loaded — the fused phase + first mixer
+/// sweep. Indices `i00..i11` are the four consecutive amplitudes of the
+/// quadruple, so the diagonal table is read in order.
+fn phase_rx_pair01_sweep(amps: &mut [Complex], values: &[f64], gamma: f64, k: RxPair) {
+    debug_assert_eq!(amps.len(), values.len());
+    let mut i = 0;
+    while i < amps.len() {
+        let x00 = amps[i] * Complex::cis(-gamma * values[i]);
+        let x01 = amps[i + 1] * Complex::cis(-gamma * values[i + 1]);
+        let x10 = amps[i + 2] * Complex::cis(-gamma * values[i + 2]);
+        let x11 = amps[i + 3] * Complex::cis(-gamma * values[i + 3]);
+        let y = k.butterfly(x00, x01, x10, x11);
+        amps[i] = y[0];
+        amps[i + 1] = y[1];
+        amps[i + 2] = y[2];
+        amps[i + 3] = y[3];
+        i += 4;
+    }
+}
+
+/// Single-qubit `RX(θ)` sweep (for the leftover qubit when `n` is odd),
+/// optionally phasing each amplitude by `e^{-iγ·values[i]}` first.
+fn rx_single_sweep(
+    amps: &mut [Complex],
+    qubit: usize,
+    theta: f64,
+    phase: Option<(&[f64], f64)>,
+) {
+    let c = Complex::from((theta / 2.0).cos());
+    let s = Complex::new(0.0, -(theta / 2.0).sin());
+    let stride = 1usize << qubit;
+    let dim = amps.len();
+    let mut base = 0;
+    while base < dim {
+        for offset in 0..stride {
+            let i0 = base + offset;
+            let i1 = i0 + stride;
+            let (a0, a1) = match phase {
+                Some((values, gamma)) => (
+                    amps[i0] * Complex::cis(-gamma * values[i0]),
+                    amps[i1] * Complex::cis(-gamma * values[i1]),
+                ),
+                None => (amps[i0], amps[i1]),
+            };
+            amps[i0] = c * a0 + s * a1;
+            amps[i1] = s * a0 + c * a1;
+        }
+        base += 2 * stride;
+    }
+}
+
+/// Applies `RX(θ)` to every qubit in `⌈n/2⌉` sweeps instead of `n`.
+///
+/// Exactly equivalent to [`crate::gates::rx_all`]; this is the fused fast
+/// path the QAOA mixer layer uses (`θ = 2β`).
+pub fn rx_all(psi: &mut StateVector, theta: f64) {
+    let n = psi.num_qubits();
+    let amps = psi.amplitudes_mut();
+    if n == 1 {
+        rx_single_sweep(amps, 0, theta, None);
+        return;
+    }
+    let k = RxPair::new(theta);
+    let mut q = 0;
+    while q + 1 < n {
+        rx_pair_sweep(amps, q, q + 1, k);
+        q += 2;
+    }
+    if q < n {
+        rx_single_sweep(amps, q, theta, None);
+    }
+}
+
+/// One fused QAOA layer: the diagonal phase `e^{-iγD}` (with `D` given as
+/// per-basis-state `values`) followed by `RX(θ)` on every qubit, with the
+/// phase folded into the first mixer sweep.
+///
+/// Exactly equivalent to `DiagonalOperator::apply_phase` followed by
+/// [`crate::gates::rx_all`], in `⌈n/2⌉` sweeps instead of `n + 1`.
+///
+/// # Panics
+///
+/// Panics if `values.len() != 2^n`.
+pub fn phase_rx_all(psi: &mut StateVector, values: &[f64], gamma: f64, theta: f64) {
+    let n = psi.num_qubits();
+    assert_eq!(
+        values.len(),
+        psi.dim(),
+        "diagonal length must equal 2^n"
+    );
+    let amps = psi.amplitudes_mut();
+    if n == 1 {
+        rx_single_sweep(amps, 0, theta, Some((values, gamma)));
+        return;
+    }
+    let k = RxPair::new(theta);
+    phase_rx_pair01_sweep(amps, values, gamma, k);
+    let mut q = 2;
+    while q + 1 < n {
+        rx_pair_sweep(amps, q, q + 1, k);
+        q += 2;
+    }
+    if q < n {
+        rx_single_sweep(amps, q, theta, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagonal::DiagonalOperator;
+    use crate::gates;
+
+    fn max_amp_diff(a: &StateVector, b: &StateVector) -> f64 {
+        a.amplitudes()
+            .iter()
+            .zip(b.amplitudes())
+            .map(|(x, y)| (*x - *y).norm())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn rx_all_matches_per_qubit_path() {
+        for n in 1..=7 {
+            let mut fused = StateVector::uniform_superposition(n);
+            // Break the symmetry so every amplitude is distinct.
+            for q in 0..n {
+                gates::rz(&mut fused, q, 0.3 + q as f64);
+            }
+            let mut unfused = fused.clone();
+            rx_all(&mut fused, 0.77);
+            gates::rx_all(&mut unfused, 0.77);
+            assert!(
+                max_amp_diff(&fused, &unfused) < 1e-13,
+                "n={n}: fused RX layer diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_rx_all_matches_sequential_path() {
+        for n in 1..=7 {
+            let op = DiagonalOperator::from_fn(n, |z| (z.count_ones() as f64) * 0.8 + z as f64 * 0.01);
+            let mut fused = StateVector::uniform_superposition(n);
+            for q in 0..n {
+                gates::ry(&mut fused, q, 0.2 * (q + 1) as f64);
+            }
+            let mut unfused = fused.clone();
+            phase_rx_all(&mut fused, op.values(), 0.41, 0.93);
+            op.apply_phase(&mut unfused, 0.41);
+            gates::rx_all(&mut unfused, 0.93);
+            assert!(
+                max_amp_diff(&fused, &unfused) < 1e-13,
+                "n={n}: fused phase+mixer layer diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_layers_preserve_norm() {
+        let op = DiagonalOperator::from_fn(5, |z| z as f64);
+        let mut psi = StateVector::uniform_superposition(5);
+        for _ in 0..4 {
+            phase_rx_all(&mut psi, op.values(), 0.9, 0.6);
+        }
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal length")]
+    fn phase_rx_all_rejects_wrong_table() {
+        let mut psi = StateVector::uniform_superposition(3);
+        phase_rx_all(&mut psi, &[0.0; 4], 0.1, 0.2);
+    }
+}

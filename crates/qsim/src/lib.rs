@@ -14,6 +14,9 @@
 //! * [`diagonal`] — diagonal cost operators: precomputed per-basis-state
 //!   values, phase application `e^{-iγ C}`, and expectation values. This is
 //!   the fast path QAOA uses.
+//! * [`fused`] — whole-register kernels that pair qubits and fold the
+//!   diagonal phase into the mixer sweep; the labeling hot path runs on
+//!   these.
 //!
 //! Qubit `q` corresponds to bit `q` of the basis-state index (little
 //! endian): basis state `|z⟩` has qubit 0 in the least significant bit.
@@ -41,6 +44,7 @@ mod state;
 
 pub mod circuit;
 pub mod diagonal;
+pub mod fused;
 pub mod gates;
 pub mod noise;
 pub mod pauli;

@@ -61,9 +61,32 @@ impl StateVector {
     /// Panics if `num_qubits` is 0 or exceeds [`MAX_QUBITS`].
     pub fn uniform_superposition(num_qubits: usize) -> Self {
         let mut psi = Self::zero_state(num_qubits);
-        let amp = Complex::from(1.0 / (psi.dim() as f64).sqrt());
-        psi.amplitudes.fill(amp);
+        psi.set_uniform_superposition();
         psi
+    }
+
+    /// Resets this state to `|+⟩^⊗n` in place, reusing the existing
+    /// allocation. This is what lets an evaluation loop (hundreds of
+    /// optimizer-driven circuit runs per labeled graph) run without any
+    /// state-vector allocations after setup.
+    pub fn set_uniform_superposition(&mut self) {
+        let amp = Complex::from(1.0 / (self.dim() as f64).sqrt());
+        self.amplitudes.fill(amp);
+    }
+
+    /// Resets this state to the computational basis state `|index⟩` in
+    /// place, reusing the existing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn set_basis_state(&mut self, index: u64) {
+        assert!(
+            (index as usize) < self.dim(),
+            "basis index {index} out of range"
+        );
+        self.amplitudes.fill(Complex::ZERO);
+        self.amplitudes[index as usize] = Complex::ONE;
     }
 
     /// Builds a state from raw amplitudes (length must be a power of two).
@@ -252,6 +275,22 @@ mod tests {
         for i in 0..16 {
             assert!((psi.probability(i) - 1.0 / 16.0).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn in_place_resets_match_constructors() {
+        let mut psi = StateVector::basis_state(3, 5);
+        psi.set_uniform_superposition();
+        assert_eq!(psi, StateVector::uniform_superposition(3));
+        psi.set_basis_state(6);
+        assert_eq!(psi, StateVector::basis_state(3, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_basis_state_rejects_large_index() {
+        let mut psi = StateVector::zero_state(2);
+        psi.set_basis_state(4);
     }
 
     #[test]

@@ -14,22 +14,16 @@ use qrand::SeedableRng;
 
 use gnn::train::TrainConfig;
 use gnn::GnnKind;
-use qaoa_gnn::dataset::LabelConfig;
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
 use qaoa_gnn::Dataset;
 use qgraph::generate::DatasetSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = PipelineConfig {
-        dataset: DatasetSpec {
-            count: 120,
-            ..DatasetSpec::default()
-        },
-        labeling: LabelConfig::quick(80),
-        training: TrainConfig::quick(20),
-        test_size: 24,
-        ..PipelineConfig::paper_scale()
-    };
+    let config = PipelineConfig::paper_scale()
+        .with_dataset(DatasetSpec::with_count(120))
+        .with_iterations(80)
+        .with_training(TrainConfig::quick(20))
+        .with_test_size(24);
 
     println!(
         "labeling {} graphs ({} optimizer iterations each)...",

@@ -33,7 +33,7 @@ fi
 echo "OK: $(printf '%s' "$metadata" | python3 -c 'import json,sys; print(len(json.load(sys.stdin)["packages"]))') packages, all path-only"
 
 echo "==> smoke-run benches (qbench --test mode)"
-for bench in generators optimizers gnn_forward simulator; do
+for bench in generators optimizers gnn_forward simulator labeling; do
     cargo bench --offline -q -p qaoa-gnn-bench --bench "$bench" -- --test >/dev/null
 done
 echo "OK: benches run"
