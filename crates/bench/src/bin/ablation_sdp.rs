@@ -10,14 +10,12 @@ use qrand::SeedableRng;
 use gnn::GnnKind;
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
 use qaoa_gnn::sdp::SdpConfig;
-use qaoa_gnn::Dataset;
-use qaoa_gnn_bench::{f2, f4, print_table, write_csv};
+use qaoa_gnn_bench::{f2, f4, label_dataset, print_table, write_csv};
 
 fn main() {
     let base = PipelineConfig::from_env();
     println!("labeling {} graphs once...", base.dataset.count);
-    let dataset = Dataset::generate(&base.dataset, &base.labeling, base.seed)
-        .expect("default dataset spec is valid");
+    let dataset = label_dataset(&base);
 
     let thresholds = [0.5, 0.6, 0.7, 0.8];
     let rates = [0.0, 0.3, 0.7, 1.0];

@@ -1,0 +1,83 @@
+//! CI smoke test for the checkpoint/resume path: label a small batch with
+//! journaling, simulate a mid-run kill by truncating the journal to half
+//! its records (plus a torn partial line), resume, and diff the result
+//! against the straight-through run. Exits non-zero on any mismatch.
+//!
+//! ```text
+//! cargo run --release -p qaoa-gnn-bench --bin checkpoint_smoke
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use qaoa_gnn::dataset::LabelConfig;
+use qaoa_gnn::store::JOURNAL_FILE;
+use qaoa_gnn::Dataset;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
+
+fn main() -> ExitCode {
+    let seed = 2024;
+    let count = 12;
+    let config = LabelConfig::quick(40);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graphs: Vec<_> = (0..count)
+        .map(|i| {
+            qgraph::generate::erdos_renyi(5 + i % 4, 0.5, &mut rng).expect("generate graph")
+        })
+        .collect();
+
+    println!("straight-through: labeling {count} graphs...");
+    let (reference, report) = Dataset::label_graphs_checked(&graphs, &config, seed);
+    if !report.is_complete() {
+        eprintln!("FAIL: straight-through labeling lost graphs: {:?}", report.unrecovered());
+        return ExitCode::FAILURE;
+    }
+
+    let dir = std::env::temp_dir().join("qaoa_gnn_checkpoint_smoke");
+    let _ = fs::remove_dir_all(&dir);
+
+    println!("journaled: labeling into {}...", dir.display());
+    let (full, _) = match Dataset::resume_labeling(&dir, &graphs, &config, seed) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("FAIL: journaled labeling errored: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if full != reference {
+        eprintln!("FAIL: journaled run differs from straight-through run");
+        return ExitCode::FAILURE;
+    }
+
+    // Simulate a SIGKILL mid-append: keep half the journal records and a
+    // torn (unterminated) fragment of the next line.
+    let journal_path = dir.join(JOURNAL_FILE);
+    let text = fs::read_to_string(&journal_path).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = lines.len() / 2;
+    let mut truncated: String = lines[..keep].iter().flat_map(|l| [*l, "\n"]).collect();
+    truncated.push_str(&lines[keep][..lines[keep].len().min(5)]);
+    fs::write(&journal_path, &truncated).expect("truncate journal");
+    println!("truncated journal to {keep}/{} records plus a torn tail", lines.len());
+
+    let (resumed, resumed_report) = match Dataset::resume_labeling(&dir, &graphs, &config, seed) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("FAIL: resume errored: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !resumed_report.is_complete() {
+        eprintln!("FAIL: resume lost graphs: {:?}", resumed_report.unrecovered());
+        return ExitCode::FAILURE;
+    }
+    if resumed != reference {
+        eprintln!("FAIL: resumed dataset differs from straight-through run");
+        return ExitCode::FAILURE;
+    }
+
+    let _ = fs::remove_dir_all(&dir);
+    println!("checkpoint/resume smoke OK: resumed dataset is bit-identical ({count} graphs)");
+    ExitCode::SUCCESS
+}

@@ -11,8 +11,7 @@ use qrand::SeedableRng;
 
 use gnn::GnnKind;
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
-use qaoa_gnn::Dataset;
-use qaoa_gnn_bench::{f2, f4, print_table, write_csv};
+use qaoa_gnn_bench::{f2, f4, label_dataset, print_table, write_csv};
 
 fn main() {
     let config = PipelineConfig::from_env();
@@ -24,8 +23,7 @@ fn main() {
         config.test_size
     );
     println!("labeling (parallel across {} threads)...", config.labeling.threads);
-    let dataset = Dataset::generate(&config.dataset, &config.labeling, config.seed)
-        .expect("default dataset spec is valid");
+    let dataset = label_dataset(&config);
     println!("mean label AR: {:.4}", dataset.mean_approx_ratio());
 
     let mut table1_rows = Vec::new();
@@ -33,6 +31,12 @@ fn main() {
         println!("\ntraining {kind}...");
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xab);
         let pipeline = Pipeline::run_on_dataset(kind, dataset.clone(), &config, &mut rng);
+        if let Some(event) = &pipeline.history.diverged {
+            println!(
+                "{kind}: training diverged at epoch {} — best finite-epoch weights restored",
+                event.epoch
+            );
+        }
         let report = &pipeline.report;
 
         // Figure 5 series: per test graph, random vs GNN AR.

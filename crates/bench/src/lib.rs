@@ -23,6 +23,50 @@ use std::fs;
 use std::io;
 use std::path::PathBuf;
 
+use qaoa_gnn::dataset::LabelReport;
+use qaoa_gnn::pipeline::PipelineConfig;
+use qaoa_gnn::Dataset;
+
+/// Labels the configured dataset through the checked, checkpointable
+/// engine — the shared front half of every experiment binary. Honors
+/// `config.checkpoint_dir` (set it via `QAOA_GNN_CHECKPOINT_DIR` to make
+/// an interrupted run resumable) and prints any per-graph failures instead
+/// of dying on them.
+///
+/// # Panics
+///
+/// Panics on an invalid dataset spec or a broken checkpoint journal.
+pub fn label_dataset(config: &PipelineConfig) -> Dataset {
+    if let Some(dir) = &config.checkpoint_dir {
+        println!("checkpoint journal: {}", dir.display());
+    }
+    let (dataset, report) = Dataset::generate_checked(
+        &config.dataset,
+        &config.labeling,
+        config.seed,
+        config.checkpoint_dir.as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("labeling failed: {e}"));
+    print_label_report(&report);
+    dataset
+}
+
+/// Prints a one-line summary of labeling failures; silent when clean.
+pub fn print_label_report(report: &LabelReport) {
+    if report.failures.is_empty() {
+        return;
+    }
+    let recovered = report.failures.iter().filter(|f| f.recovered).count();
+    println!(
+        "label failures: {}/{} graphs ({} recovered by retry, {} skipped: {:?})",
+        report.failures.len(),
+        report.total,
+        recovered,
+        report.unrecovered().len(),
+        report.unrecovered()
+    );
+}
+
 /// Directory experiment CSVs are written to (`target/experiments/`),
 /// created on first use.
 ///

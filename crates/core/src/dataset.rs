@@ -7,7 +7,9 @@
 //! provides an approximation ratio (AR) for these solutions compared to the
 //! optimal solutions derived from a brute-force search approach."
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use qrand::rngs::StdRng;
 use qrand::{Rng, SeedableRng};
@@ -38,6 +40,152 @@ pub struct LabeledGraph {
 pub struct Dataset {
     /// The labeled instances.
     pub entries: Vec<LabeledGraph>,
+}
+
+/// Typed errors from dataset operations that used to assert-panic.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// `split` was asked to hold out at least as many entries as exist.
+    SplitTooLarge {
+        /// Requested held-out size.
+        test_size: usize,
+        /// Dataset size it was requested from.
+        len: usize,
+    },
+    /// The generator spec was invalid.
+    InvalidSpec(qgraph::GraphError),
+    /// A checkpoint/journal filesystem operation failed.
+    Io(std::io::Error),
+    /// Labeling finished with unrecovered failures under
+    /// [`FailurePolicy::Halt`].
+    LabelingFailed(LabelReport),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::SplitTooLarge { test_size, len } => write!(
+                f,
+                "test size {test_size} must be below dataset size {len}"
+            ),
+            DatasetError::InvalidSpec(e) => write!(f, "invalid dataset spec: {e}"),
+            DatasetError::Io(e) => write!(f, "checkpoint io: {e}"),
+            DatasetError::LabelingFailed(report) => write!(
+                f,
+                "labeling failed for {} of {} graphs (indices {:?})",
+                report.unrecovered().len(),
+                report.total,
+                report.unrecovered()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<qgraph::GraphError> for DatasetError {
+    fn from(e: qgraph::GraphError) -> Self {
+        DatasetError::InvalidSpec(e)
+    }
+}
+
+/// Why one graph failed to label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelFailureReason {
+    /// The labeler panicked; carries the panic message.
+    Panic(String),
+    /// The optimized label contained a non-finite value; carries the name
+    /// of the offending field.
+    NonFinite(String),
+}
+
+impl std::fmt::Display for LabelFailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabelFailureReason::Panic(msg) => write!(f, "panic: {msg}"),
+            LabelFailureReason::NonFinite(what) => write!(f, "non-finite {what}"),
+        }
+    }
+}
+
+/// The outcome of labeling one graph inside a checked batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelOutcome {
+    /// The graph labeled successfully.
+    Ok(LabeledGraph),
+    /// The graph failed (after the built-in fresh-seed retry).
+    Failed {
+        /// Index of the graph in the input batch.
+        index: usize,
+        /// What went wrong on the final attempt.
+        reason: LabelFailureReason,
+    },
+}
+
+/// One recorded labeling failure (first-attempt reason plus retry result).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelFailure {
+    /// Index of the graph in the input batch.
+    pub index: usize,
+    /// Why the first attempt failed.
+    pub reason: LabelFailureReason,
+    /// `true` when the retry with a fresh RNG substream produced a valid
+    /// label (the dataset then contains the retried label).
+    pub recovered: bool,
+}
+
+/// Summary of a checked labeling run: what succeeded, what failed and why.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LabelReport {
+    /// Number of graphs in the batch.
+    pub total: usize,
+    /// Number of graphs that produced a label (including retries and
+    /// journal-restored entries on resume).
+    pub labeled: usize,
+    /// Every first-attempt failure, in input order.
+    pub failures: Vec<LabelFailure>,
+}
+
+impl LabelReport {
+    /// A report for a fully successful batch of `total` graphs.
+    pub fn clean(total: usize) -> Self {
+        LabelReport {
+            total,
+            labeled: total,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Indices that stayed unlabeled even after the retry.
+    pub fn unrecovered(&self) -> Vec<usize> {
+        self.failures
+            .iter()
+            .filter(|f| !f.recovered)
+            .map(|f| f.index)
+            .collect()
+    }
+
+    /// `true` when every graph ended up labeled (possibly via retry).
+    pub fn is_complete(&self) -> bool {
+        self.labeled == self.total
+    }
+}
+
+/// What a pipeline does when labeling reports unrecovered failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Drop the failed graphs and continue with the labeled subset (the
+    /// report still records every failure).
+    #[default]
+    Skip,
+    /// Abort the run: a paper-quality dataset must be complete.
+    Halt,
 }
 
 /// Labeling configuration.
@@ -125,6 +273,151 @@ pub fn label_graph<R: Rng + ?Sized>(
     }
 }
 
+/// [`label_graph`] with divergence detection: returns a structured failure
+/// instead of a NaN-poisoned label when the optimization diverged.
+///
+/// # Errors
+///
+/// [`LabelFailureReason::NonFinite`] when any numeric field of the label
+/// (parameters, expectation, optimum, approximation ratio) is NaN or ±∞.
+pub fn label_graph_checked<R: Rng + ?Sized>(
+    graph: &Graph,
+    config: &LabelConfig,
+    rng: &mut R,
+) -> Result<LabeledGraph, LabelFailureReason> {
+    let label = label_graph(graph, config, rng);
+    validate_label(&label)?;
+    Ok(label)
+}
+
+/// Checks every numeric field of a label for finiteness.
+fn validate_label(label: &LabeledGraph) -> Result<(), LabelFailureReason> {
+    let non_finite = |what: &str| Err(LabelFailureReason::NonFinite(what.to_string()));
+    if label.params.to_flat().iter().any(|v| !v.is_finite()) {
+        return non_finite("params");
+    }
+    if !label.expectation.is_finite() {
+        return non_finite("expectation");
+    }
+    if !label.optimal.is_finite() {
+        return non_finite("optimal");
+    }
+    if !label.approx_ratio.is_finite() {
+        return non_finite("approx_ratio");
+    }
+    Ok(())
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Seed salt for the automatic fresh-seed retry of a failed graph. The
+/// retry stream is deterministic in `(seed, index)`, so retried labels are
+/// bit-identical between interrupted-and-resumed and straight-through runs.
+const RETRY_SALT: u64 = 0xc2b2_ae3d_27d4_eb4f;
+
+/// The checked labeling engine: labels `todo` indices of `graphs` on the
+/// shared-queue worker pool, isolating each graph behind `catch_unwind`,
+/// validating finiteness, retrying failures once on a fresh RNG substream,
+/// and pushing every completed label through `sink` (the journal hook) from
+/// the worker that produced it.
+///
+/// Returns completed `(index, label)` pairs (unordered) plus the recorded
+/// failures. `sink` errors abort the batch.
+pub(crate) fn label_indices_checked(
+    labeler: &(dyn Fn(&Graph, &LabelConfig, &mut StdRng) -> LabeledGraph + Sync),
+    graphs: &[Graph],
+    todo: &[usize],
+    config: &LabelConfig,
+    seed: u64,
+    sink: &(dyn Fn(usize, &LabeledGraph) -> std::io::Result<()> + Sync),
+) -> std::io::Result<(Vec<(usize, LabeledGraph)>, Vec<LabelFailure>)> {
+    if todo.is_empty() {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    let threads = worker_count(config.threads, todo.len());
+    let next = AtomicUsize::new(0);
+    let sink_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let mut per_worker: Vec<(Vec<(usize, LabeledGraph)>, Vec<LabelFailure>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let sink_error = &sink_error;
+                scope.spawn(move || {
+                    let mut labeled = Vec::new();
+                    let mut failures = Vec::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= todo.len() {
+                            break;
+                        }
+                        if sink_error.lock().expect("sink error lock").is_some() {
+                            break; // journal is broken; stop cleanly
+                        }
+                        let index = todo[slot];
+                        let attempt = |salt: u64| -> Result<LabeledGraph, LabelFailureReason> {
+                            let mut rng = StdRng::substream(seed ^ salt, index as u64);
+                            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                labeler(&graphs[index], config, &mut rng)
+                            })) {
+                                Ok(label) => validate_label(&label).map(|()| label),
+                                Err(payload) => {
+                                    Err(LabelFailureReason::Panic(panic_message(payload.as_ref())))
+                                }
+                            }
+                        };
+                        let label = match attempt(0) {
+                            Ok(label) => Some(label),
+                            Err(reason) => {
+                                let retried = attempt(RETRY_SALT);
+                                let recovered = retried.is_ok();
+                                failures.push(LabelFailure {
+                                    index,
+                                    reason,
+                                    recovered,
+                                });
+                                retried.ok()
+                            }
+                        };
+                        if let Some(label) = label {
+                            if let Err(e) = sink(index, &label) {
+                                *sink_error.lock().expect("sink error lock") = Some(e);
+                                break;
+                            }
+                            labeled.push((index, label));
+                        }
+                    }
+                    (labeled, failures)
+                })
+            })
+            .collect();
+        per_worker = workers
+            .into_iter()
+            .map(|w| w.join().expect("checked labeling worker never panics"))
+            .collect();
+    });
+    if let Some(e) = sink_error.into_inner().expect("sink error lock") {
+        return Err(e);
+    }
+    let mut labeled = Vec::new();
+    let mut failures = Vec::new();
+    for (l, f) in per_worker {
+        labeled.extend(l);
+        failures.extend(f);
+    }
+    failures.sort_by_key(|f| f.index);
+    Ok((labeled, failures))
+}
+
 /// Effective worker count for `items` work items when the configuration
 /// asks for `requested` threads: at least one worker, and never more
 /// workers than items (spawning idle threads for tiny datasets costs more
@@ -145,45 +438,92 @@ impl Dataset {
     /// chunking would leave every other worker idle behind whichever chunk
     /// drew the large graphs.
     pub fn label_graphs(graphs: &[Graph], config: &LabelConfig, seed: u64) -> Dataset {
-        if graphs.is_empty() {
-            return Dataset::default();
-        }
-        let threads = worker_count(config.threads, graphs.len());
-        let next = AtomicUsize::new(0);
-        let mut per_worker: Vec<Vec<(usize, LabeledGraph)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut labeled = Vec::new();
-                        loop {
-                            let index = next.fetch_add(1, Ordering::Relaxed);
-                            if index >= graphs.len() {
-                                break;
-                            }
-                            let mut rng = StdRng::substream(seed, index as u64);
-                            labeled.push((index, label_graph(&graphs[index], config, &mut rng)));
-                        }
-                        labeled
-                    })
-                })
-                .collect();
-            per_worker = workers
-                .into_iter()
-                .map(|w| w.join().expect("labeling worker panicked"))
-                .collect();
-        });
-        let mut entries: Vec<Option<LabeledGraph>> = vec![None; graphs.len()];
-        for (index, entry) in per_worker.into_iter().flatten() {
+        let (dataset, report) = Self::label_graphs_checked(graphs, config, seed);
+        assert!(
+            report.is_complete(),
+            "labeling failed for graph indices {:?}",
+            report.unrecovered()
+        );
+        dataset
+    }
+
+    /// [`Self::label_graphs`] with per-graph fault isolation: a panicking
+    /// labeler or a diverged (NaN) optimization yields a recorded
+    /// [`LabelFailure`] instead of aborting the batch. Each failed graph is
+    /// retried once on a fresh deterministic RNG substream; unrecovered
+    /// graphs are simply absent from the returned dataset (their indices
+    /// are in [`LabelReport::unrecovered`]).
+    ///
+    /// Successful labels are bit-identical to [`Self::label_graphs`] with
+    /// the same seed and config.
+    pub fn label_graphs_checked(
+        graphs: &[Graph],
+        config: &LabelConfig,
+        seed: u64,
+    ) -> (Dataset, LabelReport) {
+        Self::label_graphs_checked_with(&label_graph, graphs, config, seed)
+    }
+
+    /// [`Self::label_graphs_checked`] with a caller-supplied labeler — the
+    /// fault-injection seam the robustness tests use (a labeler may panic
+    /// or return non-finite labels; both become recorded failures).
+    pub fn label_graphs_checked_with(
+        labeler: &(dyn Fn(&Graph, &LabelConfig, &mut StdRng) -> LabeledGraph + Sync),
+        graphs: &[Graph],
+        config: &LabelConfig,
+        seed: u64,
+    ) -> (Dataset, LabelReport) {
+        let todo: Vec<usize> = (0..graphs.len()).collect();
+        let (labeled, failures) =
+            label_indices_checked(labeler, graphs, &todo, config, seed, &|_, _| Ok(()))
+                .expect("no-op sink cannot fail");
+        Self::assemble(graphs.len(), labeled, failures)
+    }
+
+    /// Builds the ordered dataset + report from engine output (shared with
+    /// the journaled resume path in [`crate::store`]).
+    pub(crate) fn assemble(
+        total: usize,
+        labeled: Vec<(usize, LabeledGraph)>,
+        failures: Vec<LabelFailure>,
+    ) -> (Dataset, LabelReport) {
+        let mut entries: Vec<Option<LabeledGraph>> = vec![None; total];
+        for (index, entry) in labeled {
             entries[index] = Some(entry);
         }
-        Dataset {
-            entries: entries
-                .into_iter()
-                .map(|e| e.expect("every slot labeled"))
-                .collect(),
-        }
+        let dataset = Dataset {
+            entries: entries.into_iter().flatten().collect(),
+        };
+        let report = LabelReport {
+            total,
+            labeled: dataset.len(),
+            failures,
+        };
+        (dataset, report)
+    }
+
+    /// Per-graph outcomes of a checked labeling run, in input order — the
+    /// structured view (`Ok` label or `Failed {index, reason}`) of what
+    /// [`Self::label_graphs_checked`] folds into a dataset + report.
+    pub fn label_outcomes(
+        graphs: &[Graph],
+        config: &LabelConfig,
+        seed: u64,
+    ) -> Vec<LabelOutcome> {
+        let (dataset, report) = Self::label_graphs_checked(graphs, config, seed);
+        let mut failed: std::collections::HashMap<usize, LabelFailureReason> = report
+            .failures
+            .iter()
+            .filter(|f| !f.recovered)
+            .map(|f| (f.index, f.reason.clone()))
+            .collect();
+        let mut entries = dataset.entries.into_iter();
+        (0..graphs.len())
+            .map(|index| match failed.remove(&index) {
+                Some(reason) => LabelOutcome::Failed { index, reason },
+                None => LabelOutcome::Ok(entries.next().expect("one entry per success")),
+            })
+            .collect()
     }
 
     /// Generates `spec.count` graphs and labels them.
@@ -199,6 +539,30 @@ impl Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let graphs = spec.generate(&mut rng)?;
         Ok(Self::label_graphs(&graphs, config, seed ^ 0x9e37_79b9))
+    }
+
+    /// Fault-tolerant [`Self::generate`]: generates `spec.count` graphs and
+    /// labels them through the checked engine, optionally journaling every
+    /// completed label into `checkpoint` so an interrupted run resumes for
+    /// free (see [`crate::store`] and `Dataset::resume_labeling`).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::InvalidSpec`] for a bad spec, [`DatasetError::Io`]
+    /// for journal filesystem failures.
+    pub fn generate_checked(
+        spec: &DatasetSpec,
+        config: &LabelConfig,
+        seed: u64,
+        checkpoint: Option<&std::path::Path>,
+    ) -> Result<(Dataset, LabelReport), DatasetError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graphs = spec.generate(&mut rng)?;
+        let label_seed = seed ^ 0x9e37_79b9;
+        match checkpoint {
+            Some(dir) => Ok(Self::resume_labeling(dir, &graphs, config, label_seed)?),
+            None => Ok(Self::label_graphs_checked(&graphs, config, label_seed)),
+        }
     }
 
     /// Number of entries.
@@ -242,21 +606,23 @@ impl Dataset {
     /// Splits into `(train, test)` with `test_size` entries held out from the
     /// end after a seeded shuffle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `test_size >= len`.
-    pub fn split(&self, test_size: usize, seed: u64) -> (Dataset, Dataset) {
-        assert!(
-            test_size < self.len(),
-            "test size {test_size} must be below dataset size {}",
-            self.len()
-        );
+    /// [`DatasetError::SplitTooLarge`] if `test_size >= len` (the train
+    /// side would be empty).
+    pub fn split(&self, test_size: usize, seed: u64) -> Result<(Dataset, Dataset), DatasetError> {
+        if test_size >= self.len() {
+            return Err(DatasetError::SplitTooLarge {
+                test_size,
+                len: self.len(),
+            });
+        }
         use qrand::seq::SliceRandom;
         let mut entries = self.entries.clone();
         entries.shuffle(&mut StdRng::seed_from_u64(seed));
         let train = entries[..entries.len() - test_size].to_vec();
         let test = entries[entries.len() - test_size..].to_vec();
-        (Dataset { entries: train }, Dataset { entries: test })
+        Ok((Dataset { entries: train }, Dataset { entries: test }))
     }
 }
 
@@ -377,7 +743,7 @@ mod tests {
     fn split_is_disjoint_and_complete() {
         let spec = DatasetSpec::with_count(10);
         let ds = Dataset::generate(&spec, &quick_config(), 5).unwrap();
-        let (train, test) = ds.split(3, 99);
+        let (train, test) = ds.split(3, 99).unwrap();
         assert_eq!(train.len(), 7);
         assert_eq!(test.len(), 3);
         // Same multiset of optima (cheap proxy for completeness).
@@ -394,11 +760,133 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "test size")]
     fn split_rejects_oversized_test() {
         let spec = DatasetSpec::with_count(5);
         let ds = Dataset::generate(&spec, &quick_config(), 6).unwrap();
-        let _ = ds.split(5, 1);
+        let err = ds.split(5, 1).unwrap_err();
+        assert!(
+            matches!(err, DatasetError::SplitTooLarge { test_size: 5, len: 5 }),
+            "unexpected error: {err:?}"
+        );
+        assert!(err.to_string().contains("test size"));
+        // The boundary just below is fine.
+        assert!(ds.split(4, 1).is_ok());
+    }
+
+    #[test]
+    fn checked_labeling_matches_unchecked_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(200);
+        let graphs: Vec<Graph> = (4..9)
+            .map(|n| qgraph::generate::erdos_renyi(n, 0.5, &mut rng).unwrap())
+            .collect();
+        let plain = Dataset::label_graphs(&graphs, &quick_config(), 11);
+        let (checked, report) = Dataset::label_graphs_checked(&graphs, &quick_config(), 11);
+        assert_eq!(plain, checked);
+        assert_eq!(report, LabelReport::clean(graphs.len()));
+        assert!(report.is_complete());
+        assert!(report.unrecovered().is_empty());
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_reported() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let graphs: Vec<Graph> = (4..10)
+            .map(|n| qgraph::generate::erdos_renyi(n, 0.5, &mut rng).unwrap())
+            .collect();
+        // Panic on every 7-node graph (index 3), label the rest normally.
+        let labeler = |g: &Graph, c: &LabelConfig, r: &mut StdRng| {
+            assert!(g.n() != 7, "injected fault for n=7");
+            label_graph(g, c, r)
+        };
+        let (ds, report) = Dataset::label_graphs_checked_with(&labeler, &graphs, &quick_config(), 5);
+        assert_eq!(ds.len(), graphs.len() - 1);
+        assert_eq!(report.total, graphs.len());
+        assert_eq!(report.labeled, graphs.len() - 1);
+        assert_eq!(report.unrecovered(), vec![3]);
+        let failure = &report.failures[0];
+        assert!(!failure.recovered);
+        assert!(
+            matches!(&failure.reason, LabelFailureReason::Panic(m) if m.contains("injected fault")),
+            "reason: {:?}",
+            failure.reason
+        );
+        // All the surviving labels are bit-identical to a clean run's.
+        let clean = Dataset::label_graphs(&graphs, &quick_config(), 5);
+        let survivors: Vec<&LabeledGraph> = clean
+            .entries
+            .iter()
+            .filter(|e| e.graph.n() != 7)
+            .collect();
+        assert_eq!(ds.entries.iter().collect::<Vec<_>>(), survivors);
+    }
+
+    #[test]
+    fn non_finite_label_is_reported_not_propagated() {
+        let mut rng = StdRng::seed_from_u64(202);
+        let graphs: Vec<Graph> = (4..8)
+            .map(|n| qgraph::generate::erdos_renyi(n, 0.5, &mut rng).unwrap())
+            .collect();
+        // A labeler whose "optimizer" diverges on index-pattern graphs.
+        let labeler = |g: &Graph, c: &LabelConfig, r: &mut StdRng| {
+            let mut label = label_graph(g, c, r);
+            if g.n() == 5 {
+                label.expectation = f64::NAN;
+                label.approx_ratio = f64::NAN;
+            }
+            label
+        };
+        let (ds, report) = Dataset::label_graphs_checked_with(&labeler, &graphs, &quick_config(), 5);
+        assert!(ds.entries.iter().all(|e| e.expectation.is_finite()));
+        // n=5 is index 1; the retry re-runs the same injected divergence.
+        assert_eq!(report.unrecovered(), vec![1]);
+        assert!(matches!(
+            &report.failures[0].reason,
+            LabelFailureReason::NonFinite(what) if what == "expectation"
+        ));
+    }
+
+    #[test]
+    fn retry_with_fresh_seed_recovers_flaky_failures() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut rng = StdRng::seed_from_u64(203);
+        let graphs: Vec<Graph> = (4..8)
+            .map(|n| qgraph::generate::erdos_renyi(n, 0.5, &mut rng).unwrap())
+            .collect();
+        // Fails the first attempt on n=6 only; the retry (fresh substream)
+        // succeeds. Single-threaded so the counter is per-attempt ordered.
+        let hits = AtomicUsize::new(0);
+        let labeler = move |g: &Graph, c: &LabelConfig, r: &mut StdRng| {
+            if g.n() == 6 && hits.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky: first attempt only");
+            }
+            label_graph(g, c, r)
+        };
+        let config = LabelConfig {
+            threads: 1,
+            ..quick_config()
+        };
+        let (ds, report) = Dataset::label_graphs_checked_with(&labeler, &graphs, &config, 5);
+        assert_eq!(ds.len(), graphs.len(), "retry must fill the gap");
+        assert!(report.is_complete());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].recovered);
+        assert!(report.unrecovered().is_empty());
+    }
+
+    #[test]
+    fn label_outcomes_align_with_input_order() {
+        let mut rng = StdRng::seed_from_u64(204);
+        let graphs: Vec<Graph> = (4..8)
+            .map(|n| qgraph::generate::erdos_renyi(n, 0.5, &mut rng).unwrap())
+            .collect();
+        let outcomes = Dataset::label_outcomes(&graphs, &quick_config(), 9);
+        assert_eq!(outcomes.len(), graphs.len());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                LabelOutcome::Ok(l) => assert_eq!(&l.graph, &graphs[i]),
+                LabelOutcome::Failed { index, .. } => assert_eq!(*index, i),
+            }
+        }
     }
 
     #[test]

@@ -11,12 +11,12 @@
 //! [`Number::F64`]) so 64-bit seeds survive a round trip exactly; floats are
 //! written with Rust's shortest-round-trip `{:?}` formatting.
 
-use gnn::train::TrainConfig;
+use gnn::train::{DivergenceEvent, EpochStats, TrainConfig, TrainHistory};
 use gnn::{ModelConfig, Readout};
 use qgraph::features::FeatureConfig;
 use qgraph::generate::DatasetSpec;
 
-use crate::dataset::LabelConfig;
+use crate::dataset::{FailurePolicy, LabelConfig, LabelFailure, LabelFailureReason, LabelReport};
 use crate::eval::{EvalConfig, EvaluationReport, GraphComparison};
 use crate::pipeline::PipelineConfig;
 use crate::sdp::SdpConfig;
@@ -670,6 +670,179 @@ impl FromJson for EvalConfig {
     }
 }
 
+impl ToJson for EpochStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("epoch", Json::uint(self.epoch as u64)),
+            ("train_loss", Json::float(self.train_loss)),
+            ("learning_rate", Json::float(self.learning_rate)),
+        ])
+    }
+}
+
+impl FromJson for EpochStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(EpochStats {
+            epoch: json.get("epoch")?.as_usize()?,
+            train_loss: json.get("train_loss")?.as_f64()?,
+            learning_rate: json.get("learning_rate")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for DivergenceEvent {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("epoch", Json::uint(self.epoch as u64)),
+            // Non-finite (the usual case) serializes as null.
+            ("loss", Json::float(self.loss)),
+        ])
+    }
+}
+
+impl FromJson for DivergenceEvent {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(DivergenceEvent {
+            epoch: json.get("epoch")?.as_usize()?,
+            // A null/absent loss decodes as NaN: JSON cannot carry the
+            // non-finite value the event recorded.
+            loss: json
+                .get_opt("loss")?
+                .map(Json::as_f64)
+                .transpose()?
+                .unwrap_or(f64::NAN),
+        })
+    }
+}
+
+impl ToJson for TrainHistory {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "epochs",
+                Json::Arr(self.epochs.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "diverged",
+                self.diverged
+                    .as_ref()
+                    .map_or(Json::Null, DivergenceEvent::to_json),
+            ),
+        ])
+    }
+}
+
+impl FromJson for TrainHistory {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TrainHistory {
+            epochs: json
+                .get("epochs")?
+                .as_arr()?
+                .iter()
+                .map(EpochStats::from_json)
+                .collect::<Result<_, _>>()?,
+            diverged: json
+                .get_opt("diverged")?
+                .map(DivergenceEvent::from_json)
+                .transpose()?,
+        })
+    }
+}
+
+impl ToJson for LabelFailureReason {
+    fn to_json(&self) -> Json {
+        let (kind, detail) = match self {
+            LabelFailureReason::Panic(msg) => ("panic", msg),
+            LabelFailureReason::NonFinite(what) => ("non_finite", what),
+        };
+        obj(vec![
+            ("kind", Json::Str(kind.to_string())),
+            ("detail", Json::Str(detail.clone())),
+        ])
+    }
+}
+
+impl FromJson for LabelFailureReason {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let detail = json.get("detail")?.as_str()?.to_string();
+        match json.get("kind")?.as_str()? {
+            "panic" => Ok(LabelFailureReason::Panic(detail)),
+            "non_finite" => Ok(LabelFailureReason::NonFinite(detail)),
+            other => err(format!("unknown failure kind '{other}'")),
+        }
+    }
+}
+
+impl ToJson for LabelFailure {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("index", Json::uint(self.index as u64)),
+            ("reason", self.reason.to_json()),
+            ("recovered", Json::Bool(self.recovered)),
+        ])
+    }
+}
+
+impl FromJson for LabelFailure {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(LabelFailure {
+            index: json.get("index")?.as_usize()?,
+            reason: LabelFailureReason::from_json(json.get("reason")?)?,
+            recovered: json.get("recovered")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for LabelReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("total", Json::uint(self.total as u64)),
+            ("labeled", Json::uint(self.labeled as u64)),
+            (
+                "failures",
+                Json::Arr(self.failures.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for LabelReport {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(LabelReport {
+            total: json.get("total")?.as_usize()?,
+            labeled: json.get("labeled")?.as_usize()?,
+            failures: json
+                .get("failures")?
+                .as_arr()?
+                .iter()
+                .map(LabelFailure::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl ToJson for FailurePolicy {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                FailurePolicy::Skip => "skip",
+                FailurePolicy::Halt => "halt",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for FailurePolicy {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str()? {
+            "skip" => Ok(FailurePolicy::Skip),
+            "halt" => Ok(FailurePolicy::Halt),
+            other => err(format!("unknown failure policy '{other}'")),
+        }
+    }
+}
+
 impl ToJson for PipelineConfig {
     fn to_json(&self) -> Json {
         obj(vec![
@@ -685,6 +858,13 @@ impl ToJson for PipelineConfig {
             ("test_size", Json::uint(self.test_size as u64)),
             ("eval", self.eval.to_json()),
             ("seed", Json::uint(self.seed)),
+            (
+                "checkpoint_dir",
+                self.checkpoint_dir
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::Str(p.display().to_string())),
+            ),
+            ("failure_policy", self.failure_policy.to_json()),
         ])
     }
 }
@@ -704,6 +884,17 @@ impl FromJson for PipelineConfig {
             test_size: json.get("test_size")?.as_usize()?,
             eval: EvalConfig::from_json(json.get("eval")?)?,
             seed: json.get("seed")?.as_u64()?,
+            // Both absent in configs written before the fault-tolerance
+            // layer existed; default to the old behavior.
+            checkpoint_dir: json
+                .get_opt("checkpoint_dir")?
+                .map(|v| Ok::<_, JsonError>(std::path::PathBuf::from(v.as_str()?)))
+                .transpose()?,
+            failure_policy: json
+                .get_opt("failure_policy")?
+                .map(FailurePolicy::from_json)
+                .transpose()?
+                .unwrap_or_default(),
         })
     }
 }
@@ -873,6 +1064,99 @@ mod tests {
             },
         ]);
         round_trip(&report);
+    }
+
+    #[test]
+    fn train_history_round_trips() {
+        let history = TrainHistory {
+            epochs: vec![
+                EpochStats {
+                    epoch: 0,
+                    train_loss: 0.31,
+                    learning_rate: 0.01,
+                },
+                EpochStats {
+                    epoch: 1,
+                    train_loss: 0.22,
+                    learning_rate: 0.005,
+                },
+            ],
+            diverged: None,
+        };
+        round_trip(&history);
+        round_trip(&TrainHistory::default());
+    }
+
+    #[test]
+    fn divergence_event_survives_with_nan_loss_as_null() {
+        let history = TrainHistory {
+            epochs: vec![EpochStats {
+                epoch: 0,
+                train_loss: 0.5,
+                learning_rate: 0.01,
+            }],
+            diverged: Some(DivergenceEvent {
+                epoch: 1,
+                loss: f64::NAN,
+            }),
+        };
+        let text = history.to_json().to_compact();
+        assert!(text.contains("\"loss\":null"), "{text}");
+        let back = TrainHistory::from_json(&Json::parse(&text).unwrap()).unwrap();
+        let event = back.diverged.expect("event survives");
+        assert_eq!(event.epoch, 1);
+        assert!(event.loss.is_nan());
+        assert_eq!(back.epochs, history.epochs);
+    }
+
+    #[test]
+    fn label_report_round_trips() {
+        let report = LabelReport {
+            total: 10,
+            labeled: 8,
+            failures: vec![
+                LabelFailure {
+                    index: 3,
+                    reason: LabelFailureReason::Panic("index out of bounds".to_string()),
+                    recovered: true,
+                },
+                LabelFailure {
+                    index: 7,
+                    reason: LabelFailureReason::NonFinite("expectation".to_string()),
+                    recovered: false,
+                },
+            ],
+        };
+        round_trip(&report);
+        round_trip(&LabelReport::clean(5));
+    }
+
+    #[test]
+    fn failure_policy_round_trips() {
+        round_trip(&FailurePolicy::Skip);
+        round_trip(&FailurePolicy::Halt);
+        assert!(FailurePolicy::from_json(&Json::Str("abort".into())).is_err());
+    }
+
+    #[test]
+    fn checkpointed_pipeline_config_round_trips() {
+        round_trip(&PipelineConfig {
+            checkpoint_dir: Some(std::path::PathBuf::from("/tmp/ckpt")),
+            failure_policy: FailurePolicy::Halt,
+            ..PipelineConfig::quick()
+        });
+    }
+
+    #[test]
+    fn pre_fault_tolerance_config_still_decodes() {
+        // A config written before checkpoint_dir/failure_policy existed.
+        let mut old = PipelineConfig::quick().to_json();
+        if let Json::Obj(fields) = &mut old {
+            fields.retain(|(k, _)| k != "checkpoint_dir" && k != "failure_policy");
+        }
+        let cfg = PipelineConfig::from_json(&Json::parse(&old.to_compact()).unwrap()).unwrap();
+        assert_eq!(cfg.checkpoint_dir, None);
+        assert_eq!(cfg.failure_policy, FailurePolicy::Skip);
     }
 
     #[test]

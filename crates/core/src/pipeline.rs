@@ -1,13 +1,15 @@
 //! The end-to-end pipeline: generate → label → prune → augment → train →
 //! evaluate, reproducing the paper's full experiment in one call.
 
+use std::path::PathBuf;
+
 use qrand::Rng;
 
 use gnn::train::{self, Example, TrainConfig, TrainHistory};
 use gnn::{GnnKind, GnnModel, GraphContext, ModelConfig};
 use qgraph::generate::DatasetSpec;
 
-use crate::dataset::{Dataset, LabelConfig};
+use crate::dataset::{Dataset, DatasetError, FailurePolicy, LabelConfig, LabelReport};
 use crate::eval::{self, EvalConfig, EvaluationReport};
 use crate::fixed::{self, FixedAngleStats};
 use crate::sdp::{self, SdpConfig, SdpStats};
@@ -39,6 +41,13 @@ pub struct PipelineConfig {
     pub eval: EvalConfig,
     /// Master seed for dataset generation, labeling and splits.
     pub seed: u64,
+    /// Directory for the labeling checkpoint journal; `None` labels
+    /// in-memory only. With a directory set, an interrupted run resumes
+    /// from the journal on the next invocation (see
+    /// [`Dataset::resume_labeling`]).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// What to do when labeling reports unrecovered per-graph failures.
+    pub failure_policy: FailurePolicy,
 }
 
 impl PipelineConfig {
@@ -54,6 +63,8 @@ impl PipelineConfig {
             test_size: 100,
             eval: EvalConfig::default(),
             seed: 2024,
+            checkpoint_dir: None,
+            failure_policy: FailurePolicy::default(),
         }
     }
 
@@ -77,6 +88,9 @@ impl PipelineConfig {
     /// * `QAOA_GNN_THREADS` — labeling worker threads.
     /// * `QAOA_GNN_ITERATIONS` — optimizer iterations per labeled graph.
     /// * `QAOA_GNN_SEED` — master seed.
+    /// * `QAOA_GNN_CHECKPOINT_DIR` — labeling checkpoint directory; an
+    ///   interrupted run re-launched with the same directory resumes from
+    ///   its journal.
     pub fn from_env() -> Self {
         let full = matches!(std::env::var("QAOA_GNN_FULL"), Ok(v) if !v.is_empty() && v != "0");
         let mut config = if full { Self::paper_scale() } else { Self::quick() };
@@ -93,6 +107,11 @@ impl PipelineConfig {
         }
         if let Some(seed) = parse("QAOA_GNN_SEED") {
             config = config.with_seed(seed);
+        }
+        if let Ok(dir) = std::env::var("QAOA_GNN_CHECKPOINT_DIR") {
+            if !dir.trim().is_empty() {
+                config = config.with_checkpoint_dir(Some(PathBuf::from(dir.trim())));
+            }
         }
         config
     }
@@ -150,6 +169,19 @@ impl PipelineConfig {
         self.training = training;
         self
     }
+
+    /// Builder-style: sets (or clears, with `None`) the labeling
+    /// checkpoint directory.
+    pub fn with_checkpoint_dir(mut self, checkpoint_dir: Option<PathBuf>) -> Self {
+        self.checkpoint_dir = checkpoint_dir;
+        self
+    }
+
+    /// Builder-style: sets the labeling failure policy.
+    pub fn with_failure_policy(mut self, failure_policy: FailurePolicy) -> Self {
+        self.failure_policy = failure_policy;
+        self
+    }
 }
 
 /// Everything one pipeline run produced.
@@ -173,6 +205,9 @@ pub struct Pipeline {
     pub test_mse: f64,
     /// The §4 comparison against random initialization.
     pub report: EvaluationReport,
+    /// What the checked labeling stage reported (clean when the pipeline
+    /// ran on a pre-labeled dataset).
+    pub label_report: LabelReport,
 }
 
 /// Converts dataset entries into training examples (normalized targets).
@@ -200,11 +235,41 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics if the configuration is infeasible (e.g. `test_size` not
-    /// below the dataset size) or the dataset spec is invalid.
+    /// below the dataset size), the dataset spec is invalid, or labeling
+    /// fails under [`FailurePolicy::Halt`] — see [`Self::try_run`] for the
+    /// non-panicking form.
     pub fn run<R: Rng + ?Sized>(kind: GnnKind, config: &PipelineConfig, rng: &mut R) -> Pipeline {
-        let raw_dataset = Dataset::generate(&config.dataset, &config.labeling, config.seed)
-            .expect("dataset spec must be valid");
-        Self::run_on_dataset(kind, raw_dataset, config, rng)
+        Self::try_run(kind, config, rng).unwrap_or_else(|e| panic!("pipeline failed: {e}"))
+    }
+
+    /// [`Self::run`] with fault-tolerant labeling surfaced as a `Result`:
+    /// labels through the checked engine (journaled into
+    /// `config.checkpoint_dir` when set), applies `config.failure_policy`
+    /// to any unrecovered per-graph failures, and attaches the
+    /// [`LabelReport`] to the returned pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::LabelingFailed`] when labeling left unrecovered
+    /// failures under [`FailurePolicy::Halt`]; spec and checkpoint-journal
+    /// errors from [`Dataset::generate_checked`].
+    pub fn try_run<R: Rng + ?Sized>(
+        kind: GnnKind,
+        config: &PipelineConfig,
+        rng: &mut R,
+    ) -> Result<Pipeline, DatasetError> {
+        let (raw_dataset, label_report) = Dataset::generate_checked(
+            &config.dataset,
+            &config.labeling,
+            config.seed,
+            config.checkpoint_dir.as_deref(),
+        )?;
+        if config.failure_policy == FailurePolicy::Halt && !label_report.is_complete() {
+            return Err(DatasetError::LabelingFailed(label_report));
+        }
+        let mut pipeline = Self::run_on_dataset(kind, raw_dataset, config, rng);
+        pipeline.label_report = label_report;
+        Ok(pipeline)
     }
 
     /// Runs the pipeline on a pre-labeled dataset (lets the experiment
@@ -219,7 +284,9 @@ impl Pipeline {
         config: &PipelineConfig,
         rng: &mut R,
     ) -> Pipeline {
-        let (train_split, test_split) = raw_dataset.split(config.test_size, config.seed ^ 0x5f5f);
+        let (train_split, test_split) = raw_dataset
+            .split(config.test_size, config.seed ^ 0x5f5f)
+            .unwrap_or_else(|e| panic!("infeasible split: {e}"));
 
         // Data-quality passes apply to the training split only; the test
         // split stays untouched for unbiased evaluation.
@@ -250,6 +317,7 @@ impl Pipeline {
             .collect();
         let report = eval::evaluate_model(&model, &test_graphs, &config.eval, rng);
 
+        let label_report = LabelReport::clean(raw_dataset.len());
         Pipeline {
             kind,
             model,
@@ -260,6 +328,7 @@ impl Pipeline {
             history,
             test_mse,
             report,
+            label_report,
         }
     }
 }

@@ -7,14 +7,26 @@
 //! [`qgraph::io`] format) plus a `labels.tsv` index holding the QAOA
 //! metadata, so a labeled dataset survives between runs — full-scale
 //! labeling is by far the most expensive pipeline stage.
+//!
+//! The second half of this module is the **checkpoint journal**
+//! ([`LabelJournal`], [`Dataset::resume_labeling`]): an append-only,
+//! fsync'd record of completed labels that lets the paper-scale labeling
+//! run survive interrupts. Every completed label costs one `O(1)` append;
+//! `Ctrl-C` at graph 7000 of 9598 costs nothing on restart because resume
+//! skips every journaled index, and per-graph RNG substreams make the
+//! resumed labels bit-identical to an uninterrupted run.
 
+use std::collections::HashSet;
 use std::fs;
-use std::io;
-use std::path::Path;
+use std::io::{self, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use qaoa::Params;
+use qgraph::Graph;
 
-use crate::dataset::{Dataset, LabeledGraph};
+use crate::dataset::{label_graph, Dataset, LabelConfig, LabelReport, LabeledGraph};
+use crate::json::Json;
 
 /// Name of the index file inside a dataset directory.
 pub const INDEX_FILE: &str = "labels.tsv";
@@ -103,6 +115,274 @@ pub fn load_dataset<P: AsRef<Path>>(dir: P) -> io::Result<Dataset> {
     Ok(Dataset { entries })
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint journal
+// ---------------------------------------------------------------------------
+
+/// Name of the journal metadata file inside a checkpoint directory.
+pub const JOURNAL_META_FILE: &str = "journal.meta.json";
+
+/// Name of the append-only completed-label record inside a checkpoint
+/// directory.
+pub const JOURNAL_FILE: &str = "journal.tsv";
+
+/// Journal layout version; bumped on incompatible format changes.
+const JOURNAL_VERSION: u64 = 1;
+
+/// Order-sensitive FNV-1a fingerprint of a graph batch: node counts, edge
+/// endpoints, and weight bits. A checkpoint records this so a resume
+/// against different graphs (or a reordered batch, which would silently
+/// shift every RNG substream) is rejected instead of producing garbage.
+pub fn fingerprint_graphs(graphs: &[Graph]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(graphs.len() as u64);
+    for graph in graphs {
+        mix(graph.n() as u64);
+        for edge in graph.edges() {
+            mix(edge.u as u64);
+            mix(edge.v as u64);
+            mix(edge.weight.to_bits());
+        }
+    }
+    hash
+}
+
+fn journal_corrupt<E: std::fmt::Display>(message: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint journal: {message}"))
+}
+
+fn journal_line(index: usize, entry: &LabeledGraph) -> String {
+    // `{v}` (like `{v:?}`) is the shortest representation that parses back
+    // to the same bits, so journaled labels round-trip exactly.
+    let join = |xs: &[f64]| {
+        xs.iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{index}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        entry.params.depth(),
+        join(entry.params.gammas()),
+        join(entry.params.betas()),
+        entry.expectation,
+        entry.optimal,
+        entry.approx_ratio,
+    )
+}
+
+fn parse_journal_line(line: &str, graphs: &[Graph]) -> io::Result<(usize, LabeledGraph)> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 7 {
+        return Err(journal_corrupt(format!(
+            "expected 7 fields, got {}",
+            fields.len()
+        )));
+    }
+    let index: usize = fields[0].parse().map_err(journal_corrupt)?;
+    let graph = graphs
+        .get(index)
+        .ok_or_else(|| journal_corrupt(format!("index {index} out of range")))?;
+    let parse_f64 = |s: &str| s.parse::<f64>().map_err(journal_corrupt);
+    let parse_vec = |s: &str| -> io::Result<Vec<f64>> { s.split(',').map(parse_f64).collect() };
+    let depth: usize = fields[1].parse().map_err(journal_corrupt)?;
+    let gammas = parse_vec(fields[2])?;
+    let betas = parse_vec(fields[3])?;
+    if gammas.len() != depth || betas.len() != depth {
+        return Err(journal_corrupt("angle count does not match depth"));
+    }
+    Ok((
+        index,
+        LabeledGraph {
+            graph: graph.clone(),
+            params: Params::new(gammas, betas),
+            expectation: parse_f64(fields[4])?,
+            optimal: parse_f64(fields[5])?,
+            approx_ratio: parse_f64(fields[6])?,
+        },
+    ))
+}
+
+/// An append-only, fsync'd record of completed labels inside a checkpoint
+/// directory. Layout:
+///
+/// - `journal.meta.json` — seed, batch size, graph fingerprint, and the
+///   result-affecting labeling config, written once and verified on every
+///   reopen so a checkpoint can never be resumed against the wrong run.
+/// - `journal.tsv` — one line per completed label (`index`, params,
+///   expectation, optimal, approximation ratio), appended and `fsync`'d as
+///   each worker finishes a graph. A torn final line (crash mid-append) is
+///   detected and truncated on reopen; interior corruption is an error.
+/// - `graph_<index>.txt` — the labeled instance, same format as
+///   [`save_dataset`], so a checkpoint directory is self-describing.
+pub struct LabelJournal {
+    dir: PathBuf,
+    file: fs::File,
+}
+
+impl LabelJournal {
+    /// Opens (or creates) the journal in `dir` for labeling `graphs` with
+    /// `config` and `seed`, returning the journal plus every label already
+    /// completed by a previous run.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] when the directory holds a journal
+    /// for a *different* run (mismatched seed, config, batch size, or graph
+    /// fingerprint) or an interior-corrupted record; filesystem errors
+    /// as-is.
+    pub fn open(
+        dir: &Path,
+        graphs: &[Graph],
+        config: &LabelConfig,
+        seed: u64,
+    ) -> io::Result<(LabelJournal, Vec<(usize, LabeledGraph)>)> {
+        fs::create_dir_all(dir)?;
+        let meta = Self::meta_json(graphs, config, seed);
+        let meta_path = dir.join(JOURNAL_META_FILE);
+        if meta_path.exists() {
+            let existing = Json::parse(&fs::read_to_string(&meta_path)?)
+                .map_err(journal_corrupt)?;
+            if existing != meta {
+                return Err(journal_corrupt(format!(
+                    "{} does not match this run (different seed, config, or graphs); \
+                     refusing to resume",
+                    JOURNAL_META_FILE
+                )));
+            }
+        } else {
+            let mut f = fs::File::create(&meta_path)?;
+            f.write_all(meta.to_pretty().as_bytes())?;
+            f.sync_data()?;
+        }
+        let journal_path = dir.join(JOURNAL_FILE);
+        let (completed, valid_len) = match fs::read_to_string(&journal_path) {
+            Ok(text) => Self::replay(&text, graphs)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (Vec::new(), 0),
+            Err(e) => return Err(e),
+        };
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .open(&journal_path)?;
+        // Drop a torn tail (crash mid-append) before appending new records.
+        file.set_len(valid_len)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((
+            LabelJournal {
+                dir: dir.to_path_buf(),
+                file,
+            },
+            completed,
+        ))
+    }
+
+    /// The result-affecting identity of a labeling run. Thread count is
+    /// deliberately excluded: substream RNGs make results independent of
+    /// parallelism, so a run may resume with a different worker count.
+    fn meta_json(graphs: &[Graph], config: &LabelConfig, seed: u64) -> Json {
+        Json::Obj(vec![
+            ("version".to_string(), Json::uint(JOURNAL_VERSION)),
+            ("seed".to_string(), Json::uint(seed)),
+            ("count".to_string(), Json::uint(graphs.len() as u64)),
+            (
+                "fingerprint".to_string(),
+                Json::uint(fingerprint_graphs(graphs)),
+            ),
+            ("depth".to_string(), Json::uint(config.depth as u64)),
+            (
+                "iterations".to_string(),
+                Json::uint(config.iterations as u64),
+            ),
+        ])
+    }
+
+    /// Replays journal text into completed labels, returning them plus the
+    /// byte length of the valid prefix. Unterminated trailing bytes are a
+    /// torn append and are dropped; a malformed *terminated* line means the
+    /// journal was corrupted in place and is an error.
+    fn replay(text: &str, graphs: &[Graph]) -> io::Result<(Vec<(usize, LabeledGraph)>, u64)> {
+        let mut completed = Vec::new();
+        let mut seen = HashSet::new();
+        let mut valid_len = 0u64;
+        let mut offset = 0usize;
+        while let Some(newline) = text[offset..].find('\n') {
+            let line = &text[offset..offset + newline];
+            offset += newline + 1;
+            let (index, entry) = parse_journal_line(line, graphs)?;
+            if seen.insert(index) {
+                completed.push((index, entry));
+            }
+            valid_len = offset as u64;
+        }
+        Ok((completed, valid_len))
+    }
+
+    /// Records one completed label: writes the graph file, appends the
+    /// label line, and `fsync`s so the record survives a crash. Called from
+    /// the worker that produced the label.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors; the labeling engine aborts the batch on the first
+    /// one (a silently broken journal would defeat the checkpoint).
+    pub fn append(&mut self, index: usize, entry: &LabeledGraph) -> io::Result<()> {
+        qgraph::io::write_graph(&entry.graph, self.dir.join(graph_file_name(index)))?;
+        self.file.write_all(journal_line(index, entry).as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// The checkpoint directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Dataset {
+    /// Labels `graphs` through the checked engine, journaling every
+    /// completed label into `dir` and skipping any index a previous
+    /// (interrupted) run already journaled there. First call with an empty
+    /// `dir` is simply a checkpointed run; subsequent calls resume.
+    ///
+    /// Because every graph's label is computed on an RNG substream derived
+    /// only from `(seed, index)`, an interrupted-and-resumed run returns a
+    /// dataset bit-identical (`==`) to a straight-through
+    /// [`Dataset::label_graphs_checked`] with the same seed and config.
+    ///
+    /// # Errors
+    ///
+    /// Journal verification and filesystem errors (see
+    /// [`LabelJournal::open`] and [`LabelJournal::append`]).
+    pub fn resume_labeling(
+        dir: &Path,
+        graphs: &[Graph],
+        config: &LabelConfig,
+        seed: u64,
+    ) -> io::Result<(Dataset, LabelReport)> {
+        let (journal, done) = LabelJournal::open(dir, graphs, config, seed)?;
+        let done_indices: HashSet<usize> = done.iter().map(|&(i, _)| i).collect();
+        let todo: Vec<usize> = (0..graphs.len())
+            .filter(|i| !done_indices.contains(i))
+            .collect();
+        let journal = Mutex::new(journal);
+        let (mut labeled, failures) = crate::dataset::label_indices_checked(
+            &|g, c, r| label_graph(g, c, r),
+            graphs,
+            &todo,
+            config,
+            seed,
+            &|index, entry| journal.lock().expect("journal lock").append(index, entry),
+        )?;
+        labeled.extend(done);
+        Ok(Dataset::assemble(graphs.len(), labeled, failures))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +442,128 @@ mod tests {
         let err = load_dataset(&dir).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn journal_graphs(seed: u64, count: usize) -> Vec<qgraph::Graph> {
+        use qrand::SeedableRng;
+        let mut rng = qrand::rngs::StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|i| qgraph::generate::erdos_renyi(4 + i % 4, 0.6, &mut rng).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn journaled_run_matches_straight_through() {
+        let graphs = journal_graphs(30, 6);
+        let config = LabelConfig::quick(25);
+        let dir = temp_dir("journal_clean");
+        let (journaled, report) = Dataset::resume_labeling(&dir, &graphs, &config, 77).unwrap();
+        let (straight, _) = Dataset::label_graphs_checked(&graphs, &config, 77);
+        assert_eq!(journaled, straight);
+        assert!(report.is_complete());
+        // Layout: meta + journal + one graph file per entry.
+        assert!(dir.join(JOURNAL_META_FILE).is_file());
+        let journal = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(journal.lines().count(), graphs.len());
+        assert!(dir.join("graph_00000.txt").is_file());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_resume_is_bit_identical_and_free() {
+        let graphs = journal_graphs(31, 6);
+        let config = LabelConfig::quick(25);
+        let dir = temp_dir("journal_resume");
+        // Full checkpointed run, then simulate a kill at the halfway point
+        // by keeping only the first half of the journal lines.
+        let (straight, _) = Dataset::resume_labeling(&dir, &graphs, &config, 78).unwrap();
+        let journal_path = dir.join(JOURNAL_FILE);
+        let full = fs::read_to_string(&journal_path).unwrap();
+        let half: String = full
+            .lines()
+            .take(graphs.len() / 2)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        fs::write(&journal_path, &half).unwrap();
+        let (resumed, report) = Dataset::resume_labeling(&dir, &graphs, &config, 78).unwrap();
+        assert_eq!(resumed, straight, "resume must be bit-identical");
+        assert!(report.is_complete());
+        assert_eq!(report.labeled, graphs.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_recomputed() {
+        let graphs = journal_graphs(32, 5);
+        let config = LabelConfig::quick(25);
+        let dir = temp_dir("journal_torn");
+        let (straight, _) = Dataset::resume_labeling(&dir, &graphs, &config, 79).unwrap();
+        // Chop the journal mid-line: a crash between write and fsync.
+        let journal_path = dir.join(JOURNAL_FILE);
+        let full = fs::read(&journal_path).unwrap();
+        fs::write(&journal_path, &full[..full.len() - 7]).unwrap();
+        let (resumed, report) = Dataset::resume_labeling(&dir, &graphs, &config, 79).unwrap();
+        assert_eq!(resumed, straight);
+        assert!(report.is_complete());
+        // The journal is whole again after the resume.
+        let again = fs::read(&journal_path).unwrap();
+        assert_eq!(again.len(), full.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_rejects_mismatched_run() {
+        let graphs = journal_graphs(33, 4);
+        let config = LabelConfig::quick(25);
+        let dir = temp_dir("journal_mismatch");
+        Dataset::resume_labeling(&dir, &graphs, &config, 80).unwrap();
+        // Different seed: refuse.
+        let err = Dataset::resume_labeling(&dir, &graphs, &config, 81).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Different graphs (reordered batch shifts every substream): refuse.
+        let mut reordered = graphs.clone();
+        reordered.swap(0, 1);
+        let err = Dataset::resume_labeling(&dir, &reordered, &config, 80).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Different iteration budget: refuse.
+        let err =
+            Dataset::resume_labeling(&dir, &graphs, &LabelConfig::quick(26), 80).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The matching run still resumes (as a no-op).
+        let (ds, report) = Dataset::resume_labeling(&dir, &graphs, &config, 80).unwrap();
+        assert_eq!(ds.len(), graphs.len());
+        assert!(report.is_complete());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_rejects_interior_corruption() {
+        let graphs = journal_graphs(34, 4);
+        let config = LabelConfig::quick(25);
+        let dir = temp_dir("journal_interior");
+        Dataset::resume_labeling(&dir, &graphs, &config, 82).unwrap();
+        let journal_path = dir.join(JOURNAL_FILE);
+        let full = fs::read_to_string(&journal_path).unwrap();
+        let mut lines: Vec<&str> = full.lines().collect();
+        lines[1] = "garbage\tnot\ta\trecord";
+        let corrupted: String = lines.iter().flat_map(|l| [*l, "\n"]).collect();
+        fs::write(&journal_path, corrupted).unwrap();
+        let err = Dataset::resume_labeling(&dir, &graphs, &config, 82).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_structure_sensitive() {
+        let graphs = journal_graphs(35, 3);
+        let mut reordered = graphs.clone();
+        reordered.swap(0, 2);
+        assert_ne!(fingerprint_graphs(&graphs), fingerprint_graphs(&reordered));
+        assert_eq!(fingerprint_graphs(&graphs), fingerprint_graphs(&graphs.clone()));
+        assert_ne!(
+            fingerprint_graphs(&graphs),
+            fingerprint_graphs(&graphs[..2])
+        );
     }
 
     #[test]

@@ -301,6 +301,31 @@ impl GnnModel {
         Ok(())
     }
 
+    /// In-memory copy of every trainable parameter — the file-free
+    /// counterpart of [`Self::save_params`], used by the training loop to
+    /// keep the best-epoch weights restorable after a divergence.
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.params.iter().map(Tensor::value).collect()
+    }
+
+    /// Restores parameters from a [`Self::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's parameter count or shapes do not match
+    /// this model (snapshots are only valid for the model they came from).
+    pub fn restore(&self, snapshot: &[Matrix]) {
+        assert_eq!(
+            snapshot.len(),
+            self.params.len(),
+            "snapshot parameter count mismatch"
+        );
+        for (param, value) in self.params.iter().zip(snapshot) {
+            assert_eq!(param.shape(), value.shape(), "snapshot shape mismatch");
+            param.set_value(value.clone());
+        }
+    }
+
     /// Broadcast-adds a `1 × d` bias over every row of `h`.
     fn add_bias(&self, h: &Tensor, bias: &Tensor, rows: usize) -> Tensor {
         let ones = self.tape.constant(Matrix::ones(rows, 1));
@@ -592,6 +617,32 @@ mod tests {
         let gat = GnnModel::new(GnnKind::Gat, ModelConfig::default(), &mut rng);
         assert!(gat.load_params(&path).is_err());
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_predictions() {
+        let g = Graph::complete(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(100);
+        let model = GnnModel::new(GnnKind::Sage, ModelConfig::default(), &mut rng);
+        let want = model.predict(&g);
+        let snapshot = model.snapshot();
+        // Clobber every parameter, then restore.
+        for p in model.parameters() {
+            let (r, c) = p.shape();
+            p.set_value(Matrix::zeros(r, c));
+        }
+        assert_ne!(model.predict(&g), want, "clobbered model should differ");
+        model.restore(&snapshot);
+        assert_eq!(model.predict(&g), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot parameter count")]
+    fn restore_rejects_foreign_snapshot() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let gcn = GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng);
+        let gin = GnnModel::new(GnnKind::Gin, ModelConfig::default(), &mut rng);
+        gcn.restore(&gin.snapshot());
     }
 
     #[test]

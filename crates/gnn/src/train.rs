@@ -65,11 +65,23 @@ pub struct EpochStats {
     pub learning_rate: f64,
 }
 
+/// A recorded training divergence: the epoch whose loss went non-finite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceEvent {
+    /// Epoch index at which the loss stopped being finite.
+    pub epoch: usize,
+    /// The offending loss value (NaN or ±∞).
+    pub loss: f64,
+}
+
 /// The full training history.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainHistory {
-    /// One entry per epoch.
+    /// One entry per *completed* (finite-loss) epoch.
     pub epochs: Vec<EpochStats>,
+    /// Set when training halted early on a non-finite loss; the returned
+    /// model holds the best finite-epoch parameters, not the diverged ones.
+    pub diverged: Option<DivergenceEvent>,
 }
 
 impl TrainHistory {
@@ -78,16 +90,24 @@ impl TrainHistory {
         self.epochs.last().map(|e| e.train_loss)
     }
 
-    /// Best (lowest) training loss seen.
+    /// Best (lowest) finite training loss seen.
     pub fn best_loss(&self) -> Option<f64> {
         self.epochs
             .iter()
             .map(|e| e.train_loss)
-            .min_by(|a, b| a.partial_cmp(b).expect("loss is never NaN"))
+            .filter(|l| l.is_finite())
+            .min_by(f64::total_cmp)
     }
 }
 
 /// Trains `model` on `examples` and returns the history.
+///
+/// Divergence guard: the per-example loss is checked for finiteness
+/// *before* its gradients are applied. The first non-finite loss halts
+/// training, restores the best finite-epoch parameters (the initial
+/// weights if no epoch completed), and records a [`DivergenceEvent`] in
+/// the history — a diverged trajectory costs the run its remaining epochs,
+/// never its model.
 ///
 /// # Panics
 ///
@@ -103,9 +123,12 @@ pub fn train<R: Rng + ?Sized>(
     let mut scheduler = ReduceLrOnPlateau::paper_default();
     let mut order: Vec<usize> = (0..examples.len()).collect();
     let mut history = TrainHistory::default();
+    // Best-so-far weights, seeded with the initial ones so a divergence in
+    // epoch 0 still leaves a usable (if untrained) model.
+    let mut best: (f64, Vec<Matrix>) = (f64::INFINITY, model.snapshot());
 
     model.tape().set_training(true);
-    for epoch in 0..config.epochs {
+    'epochs: for epoch in 0..config.epochs {
         if config.shuffle {
             order.shuffle(rng);
         }
@@ -117,7 +140,15 @@ pub fn train<R: Rng + ?Sized>(
             let out = model.forward(&example.context, rng);
             let target = Matrix::row_vector(&example.target);
             let loss = out.mse(&target);
-            total_loss += loss.value()[(0, 0)];
+            let loss_value = loss.value()[(0, 0)];
+            if !loss_value.is_finite() {
+                history.diverged = Some(DivergenceEvent {
+                    epoch,
+                    loss: loss_value,
+                });
+                break 'epochs;
+            }
+            total_loss += loss_value;
             model.tape().backward(&loss);
             optimizer.step(model.parameters());
         }
@@ -129,6 +160,13 @@ pub fn train<R: Rng + ?Sized>(
             train_loss,
             learning_rate: lr,
         });
+        if train_loss < best.0 {
+            best = (train_loss, model.snapshot());
+        }
+    }
+    model.tape().reset();
+    if history.diverged.is_some() {
+        model.restore(&best.1);
     }
     model.tape().set_training(false);
     history
@@ -275,10 +313,96 @@ mod tests {
                     learning_rate: 0.01,
                 },
             ],
+            diverged: None,
         };
         assert_eq!(h.final_loss(), Some(0.2));
         assert_eq!(h.best_loss(), Some(0.2));
         assert_eq!(TrainHistory::default().final_loss(), None);
+    }
+
+    #[test]
+    fn best_loss_ignores_non_finite_epochs() {
+        let stats = |epoch, train_loss| EpochStats {
+            epoch,
+            train_loss,
+            learning_rate: 0.01,
+        };
+        let h = TrainHistory {
+            epochs: vec![stats(0, 0.4), stats(1, f64::NAN), stats(2, 0.3)],
+            diverged: None,
+        };
+        assert_eq!(h.best_loss(), Some(0.3));
+        let all_nan = TrainHistory {
+            epochs: vec![stats(0, f64::NAN)],
+            diverged: None,
+        };
+        assert_eq!(all_nan.best_loss(), None);
+    }
+
+    #[test]
+    fn nan_target_halts_training_and_restores_weights() {
+        // A poisoned label makes the very first loss NaN: training must
+        // stop, record the divergence, and leave the model with its
+        // pre-training (best finite) weights instead of NaN-soaked ones.
+        let mut data = toy_dataset();
+        data[0].target = [f64::NAN, 0.5];
+        let mut rng = StdRng::seed_from_u64(106);
+        let config = ModelConfig {
+            dropout: 0.0,
+            hidden_dim: 16,
+            ..ModelConfig::default()
+        };
+        let model = GnnModel::new(GnnKind::Gcn, config, &mut rng);
+        let g = Graph::cycle(10).unwrap();
+        let before = model.predict(&g);
+        let history = train(
+            &model,
+            &data,
+            &TrainConfig {
+                shuffle: false, // poisoned example is hit first
+                ..TrainConfig::quick(20)
+            },
+            &mut rng,
+        );
+        let event = history.diverged.expect("divergence must be recorded");
+        assert_eq!(event.epoch, 0);
+        assert!(event.loss.is_nan());
+        assert!(history.epochs.is_empty(), "no epoch completed");
+        assert_eq!(model.predict(&g), before, "weights restored to initial");
+    }
+
+    #[test]
+    fn infinite_loss_halts_with_infinite_event_loss() {
+        // A target beyond ±1.3e154 makes (out − target)² overflow to +∞:
+        // the squared-error path to divergence, distinct from NaN.
+        let mut data = toy_dataset();
+        let last = data.len() - 1;
+        data[last].target = [1e155, 0.5];
+        let mut rng = StdRng::seed_from_u64(107);
+        let config = ModelConfig {
+            dropout: 0.0,
+            hidden_dim: 16,
+            ..ModelConfig::default()
+        };
+        let model = GnnModel::new(GnnKind::Gcn, config, &mut rng);
+        let history = train(
+            &model,
+            &data,
+            &TrainConfig {
+                shuffle: false, // poisoned example is hit last in epoch 0
+                ..TrainConfig::quick(20)
+            },
+            &mut rng,
+        );
+        let event = history.diverged.expect("overflowed loss must diverge");
+        assert_eq!(event.epoch, 0);
+        assert_eq!(event.loss, f64::INFINITY);
+        let g = Graph::cycle(10).unwrap();
+        let (gamma, beta) = model.predict(&g);
+        assert!(gamma.is_finite() && beta.is_finite());
+        for e in &history.epochs {
+            assert!(e.train_loss.is_finite());
+        }
     }
 
     #[test]

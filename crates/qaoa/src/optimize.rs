@@ -27,6 +27,36 @@ pub struct OptimizationResult {
     pub history: Vec<f64>,
     /// Total number of objective evaluations used.
     pub evaluations: usize,
+    /// Number of evaluations that returned a non-finite value (NaN or ±∞).
+    /// Non-zero means the objective diverged somewhere along the trace;
+    /// [`Self::diverged`] tells whether the *result* is still usable.
+    pub non_finite_evals: usize,
+}
+
+impl OptimizationResult {
+    /// `true` when the run never recovered a finite best value — every
+    /// candidate the optimizer kept was NaN or infinite. Callers should
+    /// discard such results (the labeler records them as failures).
+    pub fn diverged(&self) -> bool {
+        !self.best_value.is_finite()
+    }
+}
+
+/// `true` when `candidate` is a usable improvement over `best`: finite, and
+/// either strictly better or replacing a non-finite incumbent. This is the
+/// single comparison every optimizer here uses to track its best point, so
+/// a NaN-returning objective can never be propagated as "best".
+fn improves(candidate: f64, best: f64) -> bool {
+    candidate.is_finite() && (!best.is_finite() || candidate > best)
+}
+
+/// Descending total-order comparison for objective values where any
+/// non-finite value ranks strictly below every finite one (NaN and -∞ tie
+/// for last). Replaces the `partial_cmp().expect()` that used to panic the
+/// whole labeling batch on the first NaN.
+fn cmp_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    let key = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
+    key(b).total_cmp(&key(a))
 }
 
 impl OptimizationResult {
@@ -103,9 +133,14 @@ impl Maximizer for NelderMead {
         assert!(!start.is_empty(), "start point must be non-empty");
         let k = start.len();
         let mut evaluations = 0usize;
+        let mut non_finite_evals = 0usize;
         let mut eval = |x: &[f64], evaluations: &mut usize| {
             *evaluations += 1;
-            objective(x)
+            let v = objective(x);
+            if !v.is_finite() {
+                non_finite_evals += 1;
+            }
+            v
         };
 
         // Initial simplex: start plus one step along each axis.
@@ -124,8 +159,9 @@ impl Maximizer for NelderMead {
         let (alpha, gamma_e, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
 
         for _ in 0..self.max_iterations {
-            // Sort descending by value (we maximize): best first.
-            simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("objective returned NaN"));
+            // Sort descending by value (we maximize): best first, any
+            // non-finite vertex last so it is the next to be replaced.
+            simplex.sort_by(|a, b| cmp_desc(a.1, b.1));
             let best = simplex[0].1;
             let worst = simplex[k].1;
             history.push(best);
@@ -196,7 +232,7 @@ impl Maximizer for NelderMead {
             }
         }
 
-        simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("objective returned NaN"));
+        simplex.sort_by(|a, b| cmp_desc(a.1, b.1));
         // Record the final best if the loop body never pushed it.
         if history.last().copied() != Some(simplex[0].1) {
             history.push(simplex[0].1);
@@ -207,6 +243,7 @@ impl Maximizer for NelderMead {
             best_value: simplex[0].1,
             history,
             evaluations,
+            non_finite_evals,
         }
     }
 }
@@ -268,11 +305,15 @@ impl Maximizer for Spsa {
         let k = start.len();
         let mut x = start.to_vec();
         let mut evaluations = 0usize;
+        let mut non_finite_evals = 0usize;
         let mut best_point = x.clone();
         let mut best_value = {
             evaluations += 1;
             objective(&x)
         };
+        if !best_value.is_finite() {
+            non_finite_evals += 1;
+        }
         let mut history = Vec::with_capacity(self.max_iterations);
 
         for iter in 0..self.max_iterations {
@@ -287,14 +328,21 @@ impl Maximizer for Spsa {
             evaluations += 2;
             let f_plus = objective(&plus);
             let f_minus = objective(&minus);
+            non_finite_evals += usize::from(!f_plus.is_finite());
+            non_finite_evals += usize::from(!f_minus.is_finite());
             let scale = (f_plus - f_minus) / (2.0 * ck);
-            for (xi, d) in x.iter_mut().zip(&delta) {
-                // Ascent: move along the estimated gradient.
-                *xi += ak * scale * d;
+            if scale.is_finite() {
+                for (xi, d) in x.iter_mut().zip(&delta) {
+                    // Ascent: move along the estimated gradient.
+                    *xi += ak * scale * d;
+                }
             }
+            // A non-finite gradient estimate skips the update entirely so
+            // one divergent evaluation cannot poison the iterate.
             evaluations += 1;
             let f_x = objective(&x);
-            if f_x > best_value {
+            non_finite_evals += usize::from(!f_x.is_finite());
+            if improves(f_x, best_value) {
                 best_value = f_x;
                 best_point = x.clone();
             }
@@ -305,6 +353,7 @@ impl Maximizer for Spsa {
             best_value,
             history,
             evaluations,
+            non_finite_evals,
         }
     }
 }
@@ -363,11 +412,15 @@ impl Maximizer for FiniteDiffAdam {
         let mut m = vec![0.0; k];
         let mut v = vec![0.0; k];
         let mut evaluations = 0usize;
+        let mut non_finite_evals = 0usize;
         let mut best_point = x.clone();
         let mut best_value = {
             evaluations += 1;
             objective(&x)
         };
+        if !best_value.is_finite() {
+            non_finite_evals += 1;
+        }
         let mut history = Vec::with_capacity(self.max_iterations);
 
         for iter in 0..self.max_iterations {
@@ -379,20 +432,29 @@ impl Maximizer for FiniteDiffAdam {
                 let mut minus = x.clone();
                 minus[i] -= self.epsilon;
                 evaluations += 2;
-                grad[i] = (objective(&plus) - objective(&minus)) / (2.0 * self.epsilon);
+                let f_plus = objective(&plus);
+                let f_minus = objective(&minus);
+                non_finite_evals += usize::from(!f_plus.is_finite());
+                non_finite_evals += usize::from(!f_minus.is_finite());
+                grad[i] = (f_plus - f_minus) / (2.0 * self.epsilon);
             }
-            let t = (iter + 1) as f64;
-            for i in 0..k {
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
-                let m_hat = m[i] / (1.0 - self.beta1.powf(t));
-                let v_hat = v[i] / (1.0 - self.beta2.powf(t));
-                // Ascent step.
-                x[i] += self.learning_rate * m_hat / (v_hat.sqrt() + 1e-8);
+            // A non-finite gradient skips the whole update (Adam's moments
+            // would otherwise be permanently NaN-poisoned).
+            if grad.iter().all(|g| g.is_finite()) {
+                let t = (iter + 1) as f64;
+                for i in 0..k {
+                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+                    let m_hat = m[i] / (1.0 - self.beta1.powf(t));
+                    let v_hat = v[i] / (1.0 - self.beta2.powf(t));
+                    // Ascent step.
+                    x[i] += self.learning_rate * m_hat / (v_hat.sqrt() + 1e-8);
+                }
             }
             evaluations += 1;
             let f_x = objective(&x);
-            if f_x > best_value {
+            non_finite_evals += usize::from(!f_x.is_finite());
+            if improves(f_x, best_value) {
                 best_value = f_x;
                 best_point = x.clone();
             }
@@ -403,6 +465,7 @@ impl Maximizer for FiniteDiffAdam {
             best_value,
             history,
             evaluations,
+            non_finite_evals,
         }
     }
 }
@@ -440,6 +503,7 @@ impl Maximizer for GridSearch {
         let mut best_value = f64::NEG_INFINITY;
         let mut history = Vec::with_capacity(self.resolution * self.resolution);
         let mut evaluations = 0usize;
+        let mut non_finite_evals = 0usize;
         for i in 0..self.resolution {
             for j in 0..self.resolution {
                 let gamma = 2.0 * std::f64::consts::PI * i as f64 / self.resolution as f64;
@@ -447,7 +511,9 @@ impl Maximizer for GridSearch {
                 let point = [gamma, beta];
                 evaluations += 1;
                 let value = objective(&point);
-                if value > best_value {
+                non_finite_evals += usize::from(!value.is_finite());
+                // Non-finite grid points are skipped, not propagated as best.
+                if improves(value, best_value) {
                     best_value = value;
                     best_point = point.to_vec();
                 }
@@ -459,6 +525,7 @@ impl Maximizer for GridSearch {
             best_value,
             history,
             evaluations,
+            non_finite_evals,
         }
     }
 }
@@ -529,8 +596,12 @@ impl<M: Maximizer> Maximizer for MultiStart<M> {
                 .collect();
             let result = self.inner.maximize(&mut objective, &restart, rng);
             best.evaluations += result.evaluations;
+            best.non_finite_evals += result.non_finite_evals;
             history.extend(result.history.iter().copied());
-            if result.best_value > best.best_value {
+            // A restart whose best is non-finite is skipped outright; a
+            // finite restart also replaces a non-finite incumbent from the
+            // supplied start, so one diverged trajectory never wins.
+            if improves(result.best_value, best.best_value) {
                 best.best_point = result.best_point;
                 best.best_value = result.best_value;
             }
@@ -544,10 +615,15 @@ impl<M: Maximizer> Maximizer for MultiStart<M> {
 }
 
 /// Forces a history to be monotone non-decreasing (best-so-far semantics).
+/// NaN entries (a diverged stretch of the trace) are overwritten by the
+/// previous best-so-far, so downstream convergence metrics stay usable.
 fn make_monotone(history: &mut [f64]) {
     for i in 1..history.len() {
-        if history[i] < history[i - 1] {
-            history[i] = history[i - 1];
+        let prev = history[i - 1];
+        // `!(x >= prev)` is true for both "strictly less" and "x is NaN";
+        // a NaN prev is never copied forward over a finite entry.
+        if prev.is_finite() && !(history[i] >= prev) {
+            history[i] = prev;
         }
     }
 }
@@ -630,6 +706,7 @@ mod tests {
             best_value: 10.0,
             history: vec![2.0, 5.0, 9.0, 10.0],
             evaluations: 4,
+            non_finite_evals: 0,
         };
         assert_eq!(r.iterations_to_fraction(0.5), Some(2));
         assert_eq!(r.iterations_to_fraction(0.95), Some(4));
@@ -698,5 +775,107 @@ mod tests {
         let r1 = Spsa::new(50).maximize(periodic, &[0.2, 0.2], &mut StdRng::seed_from_u64(7));
         let r2 = Spsa::new(50).maximize(periodic, &[0.2, 0.2], &mut StdRng::seed_from_u64(7));
         assert_eq!(r1, r2);
+    }
+
+    /// `bowl` with a NaN hole around `hole`: the divergence-injection
+    /// objective the fault-tolerance requirements call for.
+    fn bowl_with_hole(hole: [f64; 2]) -> impl Fn(&[f64]) -> f64 {
+        move |x: &[f64]| {
+            if (x[0] - hole[0]).abs() < 0.5 && (x[1] - hole[1]).abs() < 0.5 {
+                f64::NAN
+            } else {
+                bowl(x)
+            }
+        }
+    }
+
+    #[test]
+    fn nelder_mead_survives_nan_objective() {
+        // The hole sits right on the simplex's path from the start toward
+        // the optimum; the old partial_cmp().expect() panicked here.
+        let mut rng = StdRng::seed_from_u64(50);
+        let r = NelderMead::new(300).maximize(bowl_with_hole([2.0, 0.0]), &[4.0, 4.0], &mut rng);
+        assert!(r.best_value.is_finite());
+        assert!(!r.diverged());
+        assert!(r.best_value > bowl(&[4.0, 4.0]), "should still improve");
+    }
+
+    #[test]
+    fn all_nan_objective_reports_divergence_instead_of_panicking() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let r = NelderMead::new(40).maximize(|_| f64::NAN, &[0.5, 0.5], &mut rng);
+        assert!(r.diverged());
+        assert_eq!(r.non_finite_evals, r.evaluations);
+        let r = Spsa::new(40).maximize(|_| f64::NAN, &[0.5, 0.5], &mut rng);
+        assert!(r.diverged());
+        let r = FiniteDiffAdam::new(40).maximize(|_| f64::NAN, &[0.5, 0.5], &mut rng);
+        assert!(r.diverged());
+    }
+
+    #[test]
+    fn grid_search_skips_non_finite_cells() {
+        let mut rng = StdRng::seed_from_u64(52);
+        // NaN exactly at the periodic maximum: the best grid cell must be
+        // the best *finite* cell, not the poisoned one.
+        let poisoned = |x: &[f64]| {
+            let v = periodic(x);
+            if v > 0.999 {
+                f64::NAN
+            } else {
+                v
+            }
+        };
+        let r = GridSearch { resolution: 64 }.maximize(poisoned, &[0.0, 0.0], &mut rng);
+        assert!(r.best_value.is_finite());
+        assert!(r.best_value > 0.9);
+        assert!(r.non_finite_evals > 0);
+    }
+
+    #[test]
+    fn multi_start_ignores_nan_trajectories() {
+        // The supplied start lands inside the NaN hole, so the first inner
+        // run diverges outright; a finite restart must replace it.
+        let objective = bowl_with_hole([4.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(53);
+        let direct = NelderMead::new(5).maximize(&objective, &[4.0, 4.0], &mut rng);
+        assert!(direct.non_finite_evals > 0, "start must hit the hole");
+        let multi = MultiStart::new(NelderMead::new(60), 8, vec![(-5.0, 5.0), (-5.0, 5.0)]);
+        let r = multi.maximize(&objective, &[4.0, 4.0], &mut rng);
+        assert!(r.best_value.is_finite());
+        assert!((r.best_value - 3.0).abs() < 0.1, "{}", r.best_value);
+    }
+}
+
+#[cfg(test)]
+mod nan_properties {
+    use super::*;
+    use qrand::SeedableRng;
+
+    // Property: wherever a single NaN cell is injected into the p=1 grid
+    // domain, GridSearch and MultiStart(NelderMead) both return a finite
+    // best value and never select a point inside the poisoned cell.
+    qcheck::properties! {
+        fn injected_nan_never_wins(ci in 0usize..8, cj in 0usize..8, seed in 0u64..1000) {
+            let cell_w = 2.0 * std::f64::consts::PI / 8.0;
+            let cell_h = std::f64::consts::PI / 8.0;
+            let objective = |x: &[f64]| {
+                let in_cell = (x[0] / cell_w) as usize == ci && (x[1] / cell_h) as usize == cj;
+                if in_cell {
+                    f64::NAN
+                } else {
+                    (2.0 * x[0]).sin() * (4.0 * x[1]).sin()
+                }
+            };
+            let mut rng = qrand::rngs::StdRng::seed_from_u64(seed);
+            let grid = GridSearch { resolution: 16 }.maximize(objective, &[0.0, 0.0], &mut rng);
+            qcheck::prop_assert!(grid.best_value.is_finite());
+            qcheck::prop_assert!(objective(&grid.best_point).is_finite());
+
+            let multi = MultiStart::qaoa(NelderMead::new(30), 3, 1);
+            let r = multi.maximize(objective, &[ci as f64 * cell_w + 0.1, cj as f64 * cell_h + 0.1], &mut rng);
+            // Either a finite optimum was found or every trajectory stayed
+            // inside the hole (possible but must be reported, not panicked).
+            qcheck::prop_assert!(r.best_value.is_finite() || r.non_finite_evals > 0);
+        }
     }
 }

@@ -50,6 +50,23 @@ pub struct WarmStartOutcome {
     pub history: Vec<f64>,
     /// Objective evaluations spent (proxy for quantum-resource overhead).
     pub evaluations: usize,
+    /// Objective evaluations that returned a non-finite value. Non-zero
+    /// flags a (partially) diverged trace; the labeler records the graph as
+    /// failed when the final expectation itself is non-finite.
+    pub non_finite_evals: usize,
+}
+
+impl WarmStartOutcome {
+    /// `true` when the optimized result is unusable: the final expectation
+    /// or any final parameter is non-finite.
+    pub fn diverged(&self) -> bool {
+        !self.final_expectation.is_finite()
+            || self
+                .final_params
+                .to_flat()
+                .iter()
+                .any(|v| !v.is_finite())
+    }
 }
 
 impl WarmStartOutcome {
@@ -108,6 +125,7 @@ where
         best_value,
         history,
         evaluations,
+        non_finite_evals,
     } = optimizer.maximize(
         |flat: &[f64]| evaluator.expectation_flat(flat),
         &initial.to_flat(),
@@ -125,6 +143,7 @@ where
         final_ratio: hamiltonian.approximation_ratio(best_value),
         history,
         evaluations,
+        non_finite_evals,
     }
 }
 

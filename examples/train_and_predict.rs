@@ -29,13 +29,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "labeling {} graphs ({} optimizer iterations each)...",
         config.dataset.count, config.labeling.iterations
     );
-    let dataset = Dataset::generate(&config.dataset, &config.labeling, config.seed)?;
+    // The checked engine isolates per-graph panics/divergences; a bad
+    // instance becomes a recorded failure instead of a dead run.
+    let (dataset, label_report) = Dataset::generate_checked(
+        &config.dataset,
+        &config.labeling,
+        config.seed,
+        config.checkpoint_dir.as_deref(),
+    )?;
+    if !label_report.is_complete() {
+        println!(
+            "skipped {} unlabelable graphs: {:?}",
+            label_report.unrecovered().len(),
+            label_report.unrecovered()
+        );
+    }
     println!("mean label AR: {:.3}", dataset.mean_approx_ratio());
 
     println!("\n{:<10} {:>18} {:>10} {:>9}", "method", "improvement (pts)", "win rate", "test MSE");
     for kind in GnnKind::ALL {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let p = Pipeline::run_on_dataset(kind, dataset.clone(), &config, &mut rng);
+        if let Some(event) = &p.history.diverged {
+            println!("{kind}: training diverged at epoch {}; best weights kept", event.epoch);
+        }
         println!(
             "{:<10} {:>8.2} ± {:<7.2} {:>9.2} {:>9.5}",
             kind.to_string(),

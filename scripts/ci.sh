@@ -38,4 +38,8 @@ for bench in generators optimizers gnn_forward simulator labeling; do
 done
 echo "OK: benches run"
 
+echo "==> checkpoint/resume smoke (label, kill mid-journal, resume, diff)"
+cargo run --release --offline -q -p qaoa-gnn-bench --bin checkpoint_smoke
+echo "OK: checkpoint/resume round trip is bit-identical"
+
 echo "All checks passed."
