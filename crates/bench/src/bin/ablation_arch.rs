@@ -24,8 +24,18 @@ fn main() {
                 hidden_dim: hidden,
                 ..ModelConfig::default()
             });
+            // Save an artifact only for the paper's working point (2
+            // layers, width 32) when QAOA_GNN_ARTIFACT is set.
+            let config = if layers == 2 && hidden == 32 {
+                config.with_artifact_path(base.artifact_path.clone())
+            } else {
+                config.with_artifact_path(None)
+            };
             let mut rng = StdRng::seed_from_u64(base.seed ^ 0xa6c4);
             let p = Pipeline::run_on_dataset(GnnKind::Gin, dataset.clone(), &config, &mut rng);
+            if let Some(path) = &config.artifact_path {
+                println!("saved run artifact -> {}", path.display());
+            }
             rows.push(vec![
                 layers.to_string(),
                 hidden.to_string(),
@@ -57,10 +67,15 @@ fn main() {
     // Readout sweep (Eq. 9 leaves READOUT open; the paper uses mean).
     let mut rows = Vec::new();
     for readout in [gnn::Readout::Mean, gnn::Readout::Sum, gnn::Readout::Max] {
-        let config = base.clone().with_model(ModelConfig {
-            readout,
-            ..ModelConfig::default()
-        });
+        // The depth/width sweep already saved the working-point artifact;
+        // don't let readout variants overwrite it.
+        let config = base
+            .clone()
+            .with_artifact_path(None)
+            .with_model(ModelConfig {
+                readout,
+                ..ModelConfig::default()
+            });
         let mut rng = StdRng::seed_from_u64(base.seed ^ 0xa6c4);
         let p = Pipeline::run_on_dataset(GnnKind::Gin, dataset.clone(), &config, &mut rng);
         rows.push(vec![

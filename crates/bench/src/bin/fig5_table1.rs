@@ -11,6 +11,7 @@ use qrand::SeedableRng;
 
 use gnn::GnnKind;
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
+use qaoa_gnn::store::artifact_path_for_kind;
 use qaoa_gnn_bench::{f2, f4, label_dataset, print_table, write_csv};
 
 fn main() {
@@ -29,8 +30,19 @@ fn main() {
     let mut table1_rows = Vec::new();
     for kind in GnnKind::ALL {
         println!("\ntraining {kind}...");
+        // With QAOA_GNN_ARTIFACT set, each architecture's run is saved as
+        // its own artifact (base path suffixed per kind).
+        let arch_config = config.clone().with_artifact_path(
+            config
+                .artifact_path
+                .as_deref()
+                .map(|base| artifact_path_for_kind(base, kind)),
+        );
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xab);
-        let pipeline = Pipeline::run_on_dataset(kind, dataset.clone(), &config, &mut rng);
+        let pipeline = Pipeline::run_on_dataset(kind, dataset.clone(), &arch_config, &mut rng);
+        if let Some(path) = &arch_config.artifact_path {
+            println!("{kind}: saved run artifact -> {}", path.display());
+        }
         if let Some(event) = &pipeline.history.diverged {
             println!(
                 "{kind}: training diverged at epoch {} — best finite-epoch weights restored",

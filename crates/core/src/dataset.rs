@@ -774,6 +774,56 @@ mod tests {
     }
 
     #[test]
+    fn split_of_empty_dataset_is_typed_error_for_any_test_size() {
+        let empty = Dataset {
+            entries: Vec::new(),
+        };
+        for test_size in [0usize, 1, 100] {
+            let err = empty.split(test_size, 3).unwrap_err();
+            assert!(
+                matches!(err, DatasetError::SplitTooLarge { len: 0, .. }),
+                "test_size {test_size}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_ratio_boundaries() {
+        let spec = DatasetSpec::with_count(6);
+        let ds = Dataset::generate(&spec, &quick_config(), 7).unwrap();
+        // Ratio 0: everything trains, the test side is legitimately empty.
+        let (train, test) = ds.split(0, 11).unwrap();
+        assert_eq!(train.len(), 6);
+        assert_eq!(test.len(), 0);
+        // Ratio 1: an empty train side is infeasible, typed error.
+        assert!(matches!(
+            ds.split(6, 11),
+            Err(DatasetError::SplitTooLarge {
+                test_size: 6,
+                len: 6
+            })
+        ));
+        // Largest feasible holdout: a single training entry remains.
+        let (train, test) = ds.split(5, 11).unwrap();
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 5);
+    }
+
+    #[test]
+    fn split_singleton_dataset_boundaries() {
+        let spec = DatasetSpec::with_count(1);
+        let ds = Dataset::generate(&spec, &quick_config(), 8).unwrap();
+        assert!(ds.split(0, 1).is_ok());
+        assert!(matches!(
+            ds.split(1, 1),
+            Err(DatasetError::SplitTooLarge {
+                test_size: 1,
+                len: 1
+            })
+        ));
+    }
+
+    #[test]
     fn checked_labeling_matches_unchecked_bit_for_bit() {
         let mut rng = StdRng::seed_from_u64(200);
         let graphs: Vec<Graph> = (4..9)

@@ -12,7 +12,8 @@
 //! written with Rust's shortest-round-trip `{:?}` formatting.
 
 use gnn::train::{DivergenceEvent, EpochStats, TrainConfig, TrainHistory};
-use gnn::{ModelConfig, Readout};
+use gnn::{GnnKind, ModelConfig, ModelWeights, Readout};
+use tensor::Matrix;
 use qgraph::features::FeatureConfig;
 use qgraph::generate::DatasetSpec;
 
@@ -629,6 +630,100 @@ impl FromJson for ModelConfig {
     }
 }
 
+impl ToJson for GnnKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                GnnKind::Gcn => "gcn",
+                GnnKind::Gat => "gat",
+                GnnKind::Gin => "gin",
+                GnnKind::Sage => "sage",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for GnnKind {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str()? {
+            "gcn" => Ok(GnnKind::Gcn),
+            "gat" => Ok(GnnKind::Gat),
+            "gin" => Ok(GnnKind::Gin),
+            "sage" => Ok(GnnKind::Sage),
+            other => err(format!("unknown architecture '{other}'")),
+        }
+    }
+}
+
+impl ToJson for Matrix {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("rows", Json::uint(self.rows() as u64)),
+            ("cols", Json::uint(self.cols() as u64)),
+            (
+                "data",
+                Json::Arr(self.data().iter().map(|&v| Json::float(v)).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Matrix {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let rows = json.get("rows")?.as_usize()?;
+        let cols = json.get("cols")?.as_usize()?;
+        if rows == 0 || cols == 0 {
+            return err(format!("matrix dimensions must be positive, got {rows}x{cols}"));
+        }
+        let expected = rows
+            .checked_mul(cols)
+            .ok_or_else(|| JsonError(format!("matrix size {rows}x{cols} overflows")))?;
+        let entries = json.get("data")?.as_arr()?;
+        if entries.len() != expected {
+            return err(format!(
+                "matrix {rows}x{cols} needs {expected} entries, found {}",
+                entries.len()
+            ));
+        }
+        // Weights must be finite; a `null` here (the encoding of NaN/±∞)
+        // or any non-numeric entry is data corruption, not a valid weight.
+        let data = entries
+            .iter()
+            .map(Json::as_f64)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Matrix::from_flat(rows, cols, data))
+    }
+}
+
+impl ToJson for ModelWeights {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("kind", self.kind.to_json()),
+            ("config", self.config.to_json()),
+            (
+                "params",
+                Json::Arr(self.params.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ModelWeights {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ModelWeights {
+            kind: GnnKind::from_json(json.get("kind")?)?,
+            config: ModelConfig::from_json(json.get("config")?)?,
+            params: json
+                .get("params")?
+                .as_arr()?
+                .iter()
+                .map(Matrix::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 impl ToJson for TrainConfig {
     fn to_json(&self) -> Json {
         obj(vec![
@@ -865,6 +960,12 @@ impl ToJson for PipelineConfig {
                     .map_or(Json::Null, |p| Json::Str(p.display().to_string())),
             ),
             ("failure_policy", self.failure_policy.to_json()),
+            (
+                "artifact_path",
+                self.artifact_path
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::Str(p.display().to_string())),
+            ),
         ])
     }
 }
@@ -895,6 +996,10 @@ impl FromJson for PipelineConfig {
                 .map(FailurePolicy::from_json)
                 .transpose()?
                 .unwrap_or_default(),
+            artifact_path: json
+                .get_opt("artifact_path")?
+                .map(|v| Ok::<_, JsonError>(std::path::PathBuf::from(v.as_str()?)))
+                .transpose()?,
         })
     }
 }
@@ -1014,6 +1119,96 @@ mod tests {
             let text = Json::float(v).to_compact();
             let back = Json::parse(&text).unwrap().as_f64().unwrap();
             assert_eq!(back, v, "{text}");
+        }
+    }
+
+    /// Bit-level float round trip through encode → parse. Returns the
+    /// re-decoded bits so callers can assert exact equality (plain `==`
+    /// would treat -0.0 and 0.0 as equal and hide a lost sign).
+    fn round_trip_bits(v: f64) -> u64 {
+        let text = Json::float(v).to_compact();
+        Json::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse {text:?}: {e}"))
+            .as_f64()
+            .unwrap()
+            .to_bits()
+    }
+
+    #[test]
+    fn f64_edge_cases_round_trip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0, // sign of zero must survive
+            f64::from_bits(1),         // smallest positive subnormal (5e-324)
+            f64::from_bits(u64::MAX >> 12), // largest subnormal
+            -f64::from_bits(1),
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            f64::EPSILON,
+            0.123_456_789_012_345_68, // 17 significant digits
+            1.000_000_000_000_000_2,  // one ulp above 1.0
+            std::f64::consts::PI,
+            2.225_073_858_507_201e-308, // largest subnormal, decimal form
+        ] {
+            assert_eq!(round_trip_bits(v), v.to_bits(), "{v:e}");
+        }
+    }
+
+    #[test]
+    fn f64_non_finite_encodes_as_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Json::float(v).to_compact();
+            assert_eq!(text, "null");
+            assert_eq!(Json::parse(&text).unwrap(), Json::Null);
+        }
+    }
+
+    qcheck::properties! {
+        cases = 512;
+
+        fn f64_round_trips_bit_exactly_from_any_bits(bits in qcheck::any_u64()) {
+            // Every finite bit pattern — normal, subnormal, either zero —
+            // must survive encode → parse with identical bits. (Non-finite
+            // patterns encode as null by design; skip them.)
+            let v = f64::from_bits(bits);
+            qcheck::prop_assume!(v.is_finite());
+            qcheck::prop_assert_eq!(round_trip_bits(v), bits);
+        }
+
+        fn f64_round_trips_inside_structures(
+            values in qcheck::vec(qcheck::any_u64(), 0usize..8),
+        ) {
+            // The same guarantee when floats are nested in arrays/objects —
+            // the path model weights actually take.
+            let floats: Vec<f64> = values
+                .iter()
+                .map(|&b| f64::from_bits(b))
+                .filter(|v| v.is_finite())
+                .collect();
+            let json = Json::Obj(vec![(
+                "data".to_string(),
+                Json::Arr(floats.iter().map(|&v| Json::float(v)).collect()),
+            )]);
+            for text in [json.to_compact(), json.to_pretty()] {
+                let back = Json::parse(&text).unwrap();
+                let arr = back.get("data").unwrap().as_arr().unwrap();
+                qcheck::prop_assert_eq!(arr.len(), floats.len());
+                for (got, want) in arr.iter().zip(&floats) {
+                    qcheck::prop_assert_eq!(
+                        got.as_f64().unwrap().to_bits(),
+                        want.to_bits()
+                    );
+                }
+            }
+        }
+
+        fn f64_uniform_range_round_trips(mantissa in qcheck::any_u64(), exp in 0u32..600) {
+            // Decimal-ish magnitudes (1e-300 .. 1e300) rather than raw bit
+            // patterns, to cover the values real configs carry.
+            let v = (mantissa as f64 / u64::MAX as f64) * 10f64.powi(exp as i32 - 300);
+            qcheck::prop_assume!(v.is_finite());
+            qcheck::prop_assert_eq!(round_trip_bits(v), v.to_bits());
         }
     }
 

@@ -47,3 +47,4 @@ pub use dataset::{Dataset, LabeledGraph};
 pub use eval::{EvaluationReport, GraphComparison};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pipeline::{Pipeline, PipelineConfig};
+pub use store::{ArtifactError, RunArtifact};

@@ -13,6 +13,7 @@ use crate::dataset::{Dataset, DatasetError, FailurePolicy, LabelConfig, LabelRep
 use crate::eval::{self, EvalConfig, EvaluationReport};
 use crate::fixed::{self, FixedAngleStats};
 use crate::sdp::{self, SdpConfig, SdpStats};
+use crate::store::{self, RunArtifact};
 
 /// Full-pipeline configuration.
 ///
@@ -48,6 +49,11 @@ pub struct PipelineConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// What to do when labeling reports unrecovered per-graph failures.
     pub failure_policy: FailurePolicy,
+    /// Where to save the completed run as a [`crate::store::RunArtifact`];
+    /// `None` keeps the run in memory only. The artifact bundles the
+    /// trained weights (bit-exact), this configuration, the training
+    /// history, the labeling report, and the dataset fingerprint.
+    pub artifact_path: Option<PathBuf>,
 }
 
 impl PipelineConfig {
@@ -65,6 +71,7 @@ impl PipelineConfig {
             seed: 2024,
             checkpoint_dir: None,
             failure_policy: FailurePolicy::default(),
+            artifact_path: None,
         }
     }
 
@@ -91,6 +98,10 @@ impl PipelineConfig {
     /// * `QAOA_GNN_CHECKPOINT_DIR` — labeling checkpoint directory; an
     ///   interrupted run re-launched with the same directory resumes from
     ///   its journal.
+    /// * `QAOA_GNN_ARTIFACT` — path to save the completed run as a
+    ///   [`crate::store::RunArtifact`] (binaries that train several
+    ///   architectures derive one path per architecture from it, see
+    ///   [`crate::store::artifact_path_for_kind`]).
     pub fn from_env() -> Self {
         let full = matches!(std::env::var("QAOA_GNN_FULL"), Ok(v) if !v.is_empty() && v != "0");
         let mut config = if full { Self::paper_scale() } else { Self::quick() };
@@ -111,6 +122,11 @@ impl PipelineConfig {
         if let Ok(dir) = std::env::var("QAOA_GNN_CHECKPOINT_DIR") {
             if !dir.trim().is_empty() {
                 config = config.with_checkpoint_dir(Some(PathBuf::from(dir.trim())));
+            }
+        }
+        if let Ok(path) = std::env::var("QAOA_GNN_ARTIFACT") {
+            if !path.trim().is_empty() {
+                config = config.with_artifact_path(Some(PathBuf::from(path.trim())));
             }
         }
         config
@@ -180,6 +196,13 @@ impl PipelineConfig {
     /// Builder-style: sets the labeling failure policy.
     pub fn with_failure_policy(mut self, failure_policy: FailurePolicy) -> Self {
         self.failure_policy = failure_policy;
+        self
+    }
+
+    /// Builder-style: sets (or clears, with `None`) the run-artifact save
+    /// path.
+    pub fn with_artifact_path(mut self, artifact_path: Option<PathBuf>) -> Self {
+        self.artifact_path = artifact_path;
         self
     }
 }
@@ -267,9 +290,7 @@ impl Pipeline {
         if config.failure_policy == FailurePolicy::Halt && !label_report.is_complete() {
             return Err(DatasetError::LabelingFailed(label_report));
         }
-        let mut pipeline = Self::run_on_dataset(kind, raw_dataset, config, rng);
-        pipeline.label_report = label_report;
-        Ok(pipeline)
+        Self::finish(kind, raw_dataset, config, label_report, rng)
     }
 
     /// Runs the pipeline on a pre-labeled dataset (lets the experiment
@@ -277,16 +298,52 @@ impl Pipeline {
     ///
     /// # Panics
     ///
-    /// Panics if `config.test_size >= dataset.len()`.
+    /// Panics if `config.test_size >= dataset.len()` or the artifact save
+    /// fails — see [`Self::try_run_on_dataset`] for the non-panicking form.
     pub fn run_on_dataset<R: Rng + ?Sized>(
         kind: GnnKind,
         raw_dataset: Dataset,
         config: &PipelineConfig,
         rng: &mut R,
     ) -> Pipeline {
-        let (train_split, test_split) = raw_dataset
-            .split(config.test_size, config.seed ^ 0x5f5f)
-            .unwrap_or_else(|e| panic!("infeasible split: {e}"));
+        Self::try_run_on_dataset(kind, raw_dataset, config, rng)
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
+    }
+
+    /// [`Self::run_on_dataset`] surfacing infeasible splits and artifact
+    /// save failures as a `Result`. The labeling stage did not run here, so
+    /// the attached [`LabelReport`] is clean.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::SplitTooLarge`] when `config.test_size >=
+    /// dataset.len()`; [`DatasetError::Io`] when saving to
+    /// `config.artifact_path` fails.
+    pub fn try_run_on_dataset<R: Rng + ?Sized>(
+        kind: GnnKind,
+        raw_dataset: Dataset,
+        config: &PipelineConfig,
+        rng: &mut R,
+    ) -> Result<Pipeline, DatasetError> {
+        let report = LabelReport::clean(raw_dataset.len());
+        Self::finish(kind, raw_dataset, config, report, rng)
+    }
+
+    /// Shared tail of every entry point: split, prune, augment, train,
+    /// evaluate, attach the labeling report, and — when
+    /// `config.artifact_path` is set — persist the whole run as a
+    /// [`crate::store::RunArtifact`]. Saving happens *after* the real
+    /// label report is attached so the artifact records what labeling
+    /// actually did.
+    fn finish<R: Rng + ?Sized>(
+        kind: GnnKind,
+        raw_dataset: Dataset,
+        config: &PipelineConfig,
+        label_report: LabelReport,
+        rng: &mut R,
+    ) -> Result<Pipeline, DatasetError> {
+        let (train_split, test_split) =
+            raw_dataset.split(config.test_size, config.seed ^ 0x5f5f)?;
 
         // Data-quality passes apply to the training split only; the test
         // split stays untouched for unbiased evaluation.
@@ -317,8 +374,7 @@ impl Pipeline {
             .collect();
         let report = eval::evaluate_model(&model, &test_graphs, &config.eval, rng);
 
-        let label_report = LabelReport::clean(raw_dataset.len());
-        Pipeline {
+        let pipeline = Pipeline {
             kind,
             model,
             raw_dataset,
@@ -329,6 +385,25 @@ impl Pipeline {
             test_mse,
             report,
             label_report,
+        };
+        if let Some(path) = &config.artifact_path {
+            pipeline.to_artifact(config).save(path)?;
+        }
+        Ok(pipeline)
+    }
+
+    /// Bundles this run into a [`RunArtifact`]: the trained weights
+    /// (bit-exact), `config`, the training history, the labeling report,
+    /// and the raw dataset's fingerprint.
+    pub fn to_artifact(&self, config: &PipelineConfig) -> RunArtifact {
+        RunArtifact {
+            config: config.clone(),
+            weights: self.model.export_weights(),
+            history: self.history.clone(),
+            label_report: self.label_report.clone(),
+            dataset_fingerprint: store::fingerprint_graph_refs(
+                self.raw_dataset.entries.iter().map(|e| &e.graph),
+            ),
         }
     }
 }

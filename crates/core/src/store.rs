@@ -22,11 +22,14 @@ use std::io::{self, Seek, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use gnn::train::TrainHistory;
+use gnn::{GnnKind, GnnModel, ModelWeights, WeightError};
 use qaoa::Params;
 use qgraph::Graph;
 
 use crate::dataset::{label_graph, Dataset, LabelConfig, LabelReport, LabeledGraph};
-use crate::json::Json;
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::pipeline::PipelineConfig;
 
 /// Name of the index file inside a dataset directory.
 pub const INDEX_FILE: &str = "labels.tsv";
@@ -134,6 +137,16 @@ const JOURNAL_VERSION: u64 = 1;
 /// against different graphs (or a reordered batch, which would silently
 /// shift every RNG substream) is rejected instead of producing garbage.
 pub fn fingerprint_graphs(graphs: &[Graph]) -> u64 {
+    fingerprint_graph_refs(graphs.iter())
+}
+
+/// [`fingerprint_graphs`] over any exact-size graph iterator, so callers
+/// holding graphs inside larger records (e.g. [`LabeledGraph`] entries) can
+/// fingerprint without cloning the batch.
+pub fn fingerprint_graph_refs<'a, I>(graphs: I) -> u64
+where
+    I: ExactSizeIterator<Item = &'a Graph>,
+{
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |v: u64| {
         hash ^= v;
@@ -383,6 +396,320 @@ impl Dataset {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Run artifacts
+// ---------------------------------------------------------------------------
+
+/// The `format` tag every run artifact carries.
+pub const ARTIFACT_FORMAT: &str = "qaoa-gnn-run-artifact";
+
+/// Current artifact schema version; bumped on incompatible changes.
+pub const ARTIFACT_VERSION: u64 = 1;
+
+/// The artifact's section names, in serialization order. Every section is
+/// individually checksummed.
+const ARTIFACT_SECTIONS: [&str; 5] = ["config", "weights", "history", "label_report", "dataset"];
+
+/// FNV-1a over raw bytes — the artifact's per-section integrity hash (the
+/// same function family as [`fingerprint_graphs`], applied to serialized
+/// section text instead of graph structure).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a run artifact failed to load. Every corruption mode maps to a
+/// variant — loading never panics on bad input.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// A filesystem operation failed.
+    Io(io::Error),
+    /// The file is not valid JSON or a section failed to decode.
+    Json(JsonError),
+    /// The file is JSON but not a run artifact.
+    Format {
+        /// The `format` value found (empty when absent).
+        found: String,
+    },
+    /// The artifact was written by an unsupported schema version.
+    Version {
+        /// Version the file declares.
+        found: u64,
+        /// Version this build reads.
+        supported: u64,
+    },
+    /// A required section or its checksum is missing.
+    MissingSection(&'static str),
+    /// A section's content does not match its stored checksum.
+    ChecksumMismatch {
+        /// Which section failed verification.
+        section: &'static str,
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum of the section as found.
+        computed: u64,
+    },
+    /// The weights decoded but do not fit the declared architecture.
+    Weights(WeightError),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact io: {e}"),
+            ArtifactError::Json(e) => write!(f, "artifact decode: {e}"),
+            ArtifactError::Format { found } => write!(
+                f,
+                "not a run artifact: format '{found}' (expected '{ARTIFACT_FORMAT}')"
+            ),
+            ArtifactError::Version { found, supported } => write!(
+                f,
+                "unsupported artifact version {found} (this build reads {supported})"
+            ),
+            ArtifactError::MissingSection(section) => {
+                write!(f, "artifact is missing section '{section}'")
+            }
+            ArtifactError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "artifact section '{section}' is corrupt: checksum {computed:#018x} \
+                 does not match stored {stored:#018x}"
+            ),
+            ArtifactError::Weights(e) => write!(f, "artifact weights: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<io::Error> for ArtifactError {
+    fn from(e: io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<JsonError> for ArtifactError {
+    fn from(e: JsonError) -> Self {
+        ArtifactError::Json(e)
+    }
+}
+
+impl From<WeightError> for ArtifactError {
+    fn from(e: WeightError) -> Self {
+        ArtifactError::Weights(e)
+    }
+}
+
+/// A whole training run as one self-describing file: the configuration that
+/// produced it, the trained weights (bit-exact), the training history, the
+/// labeling report, and a fingerprint of the dataset it was trained on.
+///
+/// The on-disk layout is versioned JSON:
+///
+/// ```text
+/// {
+///   "format": "qaoa-gnn-run-artifact",
+///   "version": 1,
+///   "sections": { "config": …, "weights": …, "history": …,
+///                 "label_report": …, "dataset": {"fingerprint": …} },
+///   "checksums": { "<section>": <fnv1a of the section's compact JSON> }
+/// }
+/// ```
+///
+/// [`RunArtifact::load`] verifies format, version, and every checksum
+/// before decoding, and validates the weights against the declared
+/// architecture before any model is constructed — a corrupted, truncated,
+/// or mismatched-architecture file fails with a typed [`ArtifactError`],
+/// never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifact {
+    /// The pipeline configuration the run used.
+    pub config: PipelineConfig,
+    /// The trained model: architecture, hyper-parameters, and parameters.
+    pub weights: ModelWeights,
+    /// What training did, epoch by epoch.
+    pub history: TrainHistory,
+    /// What the labeling stage reported.
+    pub label_report: LabelReport,
+    /// [`fingerprint_graphs`] of the raw labeled dataset.
+    pub dataset_fingerprint: u64,
+}
+
+impl RunArtifact {
+    /// Builds the artifact's JSON tree, checksumming each section.
+    pub fn to_json(&self) -> Json {
+        let sections: Vec<(String, Json)> = vec![
+            ("config".to_string(), self.config.to_json()),
+            ("weights".to_string(), self.weights.to_json()),
+            ("history".to_string(), self.history.to_json()),
+            ("label_report".to_string(), self.label_report.to_json()),
+            (
+                "dataset".to_string(),
+                Json::Obj(vec![(
+                    "fingerprint".to_string(),
+                    Json::uint(self.dataset_fingerprint),
+                )]),
+            ),
+        ];
+        let checksums: Vec<(String, Json)> = sections
+            .iter()
+            .map(|(name, value)| {
+                (
+                    name.clone(),
+                    Json::uint(fnv1a_bytes(value.to_compact().as_bytes())),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("format".to_string(), Json::Str(ARTIFACT_FORMAT.to_string())),
+            ("version".to_string(), Json::uint(ARTIFACT_VERSION)),
+            ("sections".to_string(), Json::Obj(sections)),
+            ("checksums".to_string(), Json::Obj(checksums)),
+        ])
+    }
+
+    /// Decodes and fully validates an artifact from its JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// See [`ArtifactError`]; checks run in order format → version →
+    /// section presence → checksums → section decode → weight validation.
+    pub fn from_json(json: &Json) -> Result<Self, ArtifactError> {
+        let format = json
+            .get_opt("format")
+            .ok()
+            .flatten()
+            .and_then(|v| v.as_str().ok())
+            .unwrap_or("");
+        if format != ARTIFACT_FORMAT {
+            return Err(ArtifactError::Format {
+                found: format.to_string(),
+            });
+        }
+        let version = json.get("version")?.as_u64()?;
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::Version {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            });
+        }
+        let sections = json.get("sections")?;
+        let checksums = json.get("checksums")?;
+        let mut verified: Vec<&Json> = Vec::with_capacity(ARTIFACT_SECTIONS.len());
+        for name in ARTIFACT_SECTIONS {
+            let section = sections
+                .get_opt(name)?
+                .ok_or(ArtifactError::MissingSection(name))?;
+            let stored = checksums
+                .get_opt(name)?
+                .ok_or(ArtifactError::MissingSection(name))?
+                .as_u64()?;
+            // Parsing is lossless (shortest-round-trip floats, exact
+            // integers), so re-serializing the parsed section reproduces
+            // the exact bytes the writer hashed.
+            let computed = fnv1a_bytes(section.to_compact().as_bytes());
+            if computed != stored {
+                return Err(ArtifactError::ChecksumMismatch {
+                    section: name,
+                    stored,
+                    computed,
+                });
+            }
+            verified.push(section);
+        }
+        let weights = ModelWeights::from_json(verified[1])?;
+        weights.validate()?;
+        Ok(RunArtifact {
+            config: PipelineConfig::from_json(verified[0])?,
+            weights,
+            history: TrainHistory::from_json(verified[2])?,
+            label_report: LabelReport::from_json(verified[3])?,
+            dataset_fingerprint: verified[4].get("fingerprint")?.as_u64()?,
+        })
+    }
+
+    /// Writes the artifact to `path` (pretty-printed, fsync'd; parent
+    /// directories are created).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = fs::File::create(path)?;
+        file.write_all(self.to_json().to_pretty().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()
+    }
+
+    /// Reads and fully validates an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`]: missing file, malformed JSON, wrong format or
+    /// version, failed checksum, undecodable section, or weights that do
+    /// not fit the declared architecture.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<RunArtifact, ArtifactError> {
+        let text = fs::read_to_string(path)?;
+        let json = Json::parse(&text)?;
+        Self::from_json(&json)
+    }
+
+    /// Reconstructs the trained model (see [`ModelWeights::build_model`]);
+    /// its predictions are bit-identical to the model that was saved.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightError`] when the weights do not fit the declared
+    /// architecture (already checked by [`Self::load`], so this only fails
+    /// on artifacts mutated in memory).
+    pub fn build_model(&self) -> Result<GnnModel, WeightError> {
+        self.weights.build_model()
+    }
+
+    /// The architecture this artifact's model uses.
+    pub fn kind(&self) -> GnnKind {
+        self.weights.kind
+    }
+}
+
+/// Derives a per-architecture artifact path from a base path by inserting
+/// the architecture slug before the extension: `run.json` + GAT →
+/// `run.gat.json` (or appended when there is no extension). Lets the bench
+/// bins save all four architectures from one `--artifact` flag without
+/// overwriting.
+pub fn artifact_path_for_kind(base: &Path, kind: GnnKind) -> PathBuf {
+    let slug = match kind {
+        GnnKind::Gcn => "gcn",
+        GnnKind::Gat => "gat",
+        GnnKind::Gin => "gin",
+        GnnKind::Sage => "sage",
+    };
+    match (base.file_stem(), base.extension()) {
+        (Some(stem), Some(ext)) => base.with_file_name(format!(
+            "{}.{slug}.{}",
+            stem.to_string_lossy(),
+            ext.to_string_lossy()
+        )),
+        _ => base.with_file_name(format!(
+            "{}.{slug}",
+            base.file_name().map(|n| n.to_string_lossy()).unwrap_or_default()
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +890,145 @@ mod tests {
         assert_ne!(
             fingerprint_graphs(&graphs),
             fingerprint_graphs(&graphs[..2])
+        );
+    }
+
+    fn tiny_artifact(kind: GnnKind, seed: u64) -> RunArtifact {
+        use qrand::SeedableRng;
+        let mut rng = qrand::rngs::StdRng::seed_from_u64(seed);
+        let config = gnn::ModelConfig {
+            hidden_dim: 4,
+            ..gnn::ModelConfig::default()
+        };
+        let model = GnnModel::new(kind, config, &mut rng);
+        RunArtifact {
+            config: PipelineConfig::quick(),
+            weights: model.export_weights(),
+            history: TrainHistory::default(),
+            label_report: LabelReport::clean(3),
+            dataset_fingerprint: fingerprint_graphs(&journal_graphs(seed, 3)),
+        }
+    }
+
+    #[test]
+    fn artifact_save_load_round_trips() {
+        let dir = temp_dir("artifact_round_trip");
+        for (i, &kind) in GnnKind::ALL.iter().enumerate() {
+            let artifact = tiny_artifact(kind, 400 + i as u64);
+            let path = artifact_path_for_kind(&dir.join("run.json"), kind);
+            artifact.save(&path).unwrap();
+            let back = RunArtifact::load(&path).unwrap();
+            assert_eq!(artifact, back, "{kind}");
+            assert_eq!(back.kind(), kind);
+            let g = qgraph::Graph::cycle(5).unwrap();
+            assert_eq!(
+                artifact.build_model().unwrap().predict(&g),
+                back.build_model().unwrap().predict(&g)
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn artifact_load_missing_file_is_io() {
+        match RunArtifact::load("/definitely/not/an/artifact.json") {
+            Err(ArtifactError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn artifact_rejects_wrong_format_and_version() {
+        match RunArtifact::from_json(&Json::parse(r#"{"hello": 1}"#).unwrap()) {
+            Err(ArtifactError::Format { found }) => assert!(found.is_empty()),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        let mut json = tiny_artifact(GnnKind::Gcn, 410).to_json();
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "version" {
+                    *v = Json::uint(99);
+                }
+            }
+        }
+        match RunArtifact::from_json(&json) {
+            Err(ArtifactError::Version { found: 99, supported }) => {
+                assert_eq!(supported, ARTIFACT_VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn artifact_detects_tampered_section() {
+        let dir = temp_dir("artifact_tamper");
+        let path = dir.join("run.json");
+        tiny_artifact(GnnKind::Gin, 411).save(&path).unwrap();
+        // Flip one weight digit without updating the checksum.
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("0.0", "0.5", 1);
+        assert_ne!(text, tampered, "fixture must contain a 0.0 to tamper");
+        fs::write(&path, tampered).unwrap();
+        match RunArtifact::load(&path) {
+            Err(ArtifactError::ChecksumMismatch { .. } | ArtifactError::Json(_)) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn artifact_rejects_arch_mismatch_typed() {
+        // Declare GAT but carry GCN-shaped parameters: the weight validator
+        // must reject before any model exists.
+        let mut artifact = tiny_artifact(GnnKind::Gcn, 412);
+        artifact.weights.kind = GnnKind::Gat;
+        let dir = temp_dir("artifact_mismatch");
+        let path = dir.join("run.json");
+        artifact.save(&path).unwrap();
+        match RunArtifact::load(&path) {
+            Err(ArtifactError::Weights(
+                WeightError::ParamCount { .. } | WeightError::ShapeMismatch { .. },
+            )) => {}
+            other => panic!("expected Weights error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn artifact_rejects_missing_section() {
+        let mut json = tiny_artifact(GnnKind::Sage, 413).to_json();
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "sections" {
+                    if let Json::Obj(sections) = v {
+                        sections.retain(|(name, _)| name != "history");
+                    }
+                }
+            }
+        }
+        match RunArtifact::from_json(&json) {
+            Err(ArtifactError::MissingSection("history")) => {}
+            other => panic!("expected MissingSection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn artifact_path_per_kind_is_distinct() {
+        let base = PathBuf::from("/tmp/runs/model.json");
+        let paths: Vec<PathBuf> = GnnKind::ALL
+            .iter()
+            .map(|&k| artifact_path_for_kind(&base, k))
+            .collect();
+        assert_eq!(paths[1], PathBuf::from("/tmp/runs/model.gcn.json"));
+        for (i, a) in paths.iter().enumerate() {
+            for b in &paths[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Extension-less base still gets a distinct name.
+        assert_eq!(
+            artifact_path_for_kind(&PathBuf::from("model"), GnnKind::Gat),
+            PathBuf::from("model.gat")
         );
     }
 

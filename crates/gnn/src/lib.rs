@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod context;
 mod model;
 
 pub mod train;
 
+pub use checkpoint::{expected_shapes, ModelWeights, WeightError};
 pub use context::GraphContext;
 pub use model::{GnnKind, GnnModel, ModelConfig, Readout};
 

@@ -1,0 +1,110 @@
+//! Property-based tests for model state round-trips: `snapshot`/`restore`
+//! must be an exact involution for every architecture and width, and the
+//! divergence guard's restore path must land on bit-identical weights.
+
+use qcheck::{choice, prop_assert, prop_assert_eq, properties};
+
+use gnn::train::{train, Example, TrainConfig};
+use gnn::{GnnKind, GnnModel, GraphContext, ModelConfig};
+use qgraph::features::FeatureConfig;
+use qgraph::Graph;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
+
+fn arb_kind() -> impl qcheck::Gen<Item = GnnKind> {
+    choice([GnnKind::Gcn, GnnKind::Gat, GnnKind::Gin, GnnKind::Sage])
+}
+
+properties! {
+    cases = 24;
+
+    fn snapshot_restore_is_exact_involution(
+        kind in arb_kind(),
+        hidden_dim in 1usize..9,
+        layers in 1usize..4,
+        seed in qcheck::any_u64(),
+    ) {
+        let config = ModelConfig {
+            hidden_dim,
+            layers,
+            ..ModelConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = GnnModel::new(kind, config, &mut rng);
+        let g = Graph::complete(5).unwrap();
+
+        let original = model.snapshot();
+        let before = model.predict(&g);
+
+        // Clobber every parameter through the restore path itself, then
+        // restore the original snapshot: predictions and a re-taken
+        // snapshot must both match bit-for-bit.
+        let clobbered: Vec<_> = original.iter().map(|m| m.map(|v| v * -3.0 + 1.0)).collect();
+        model.restore(&clobbered);
+        model.restore(&original);
+        prop_assert_eq!(model.predict(&g), before);
+        let retaken = model.snapshot();
+        prop_assert_eq!(retaken.len(), original.len());
+        for (a, b) in retaken.iter().zip(&original) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    fn export_weights_round_trips_bit_identically(
+        kind in arb_kind(),
+        hidden_dim in 1usize..9,
+        seed in qcheck::any_u64(),
+    ) {
+        let config = ModelConfig {
+            hidden_dim,
+            ..ModelConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = GnnModel::new(kind, config, &mut rng);
+        let rebuilt = model.export_weights().build_model().unwrap();
+        let g = Graph::cycle(6).unwrap();
+        prop_assert_eq!(model.predict(&g), rebuilt.predict(&g));
+        prop_assert_eq!(model.export_weights(), rebuilt.export_weights());
+    }
+}
+
+properties! {
+    cases = 8; // training-backed, keep the budget small
+
+    fn post_divergence_restore_is_bit_identical(
+        kind in arb_kind(),
+        seed in qcheck::any_u64(),
+    ) {
+        // A NaN label poisons the very first example, so training halts in
+        // epoch 0 and must restore the initial weights exactly.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = ModelConfig {
+            dropout: 0.0,
+            hidden_dim: 8,
+            ..ModelConfig::default()
+        };
+        let model = GnnModel::new(kind, config, &mut rng);
+        let before = model.snapshot();
+
+        let poisoned = Example {
+            context: GraphContext::new(&Graph::cycle(5).unwrap(), &FeatureConfig::default(), 0.0),
+            target: [f64::NAN, 0.5],
+        };
+        let history = train(
+            &model,
+            &[poisoned],
+            &TrainConfig {
+                shuffle: false,
+                ..TrainConfig::quick(3)
+            },
+            &mut rng,
+        );
+        prop_assert!(history.diverged.is_some(), "{} must record divergence", kind);
+
+        let after = model.snapshot();
+        prop_assert_eq!(after.len(), before.len());
+        for (a, b) in after.iter().zip(&before) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

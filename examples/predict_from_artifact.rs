@@ -1,0 +1,86 @@
+//! Inference from a saved run artifact: train once, predict forever.
+//!
+//! ```text
+//! # First run: trains a quick model and saves the artifact.
+//! cargo run --release --example predict_from_artifact
+//! # Later runs: load the artifact and predict without retraining.
+//! cargo run --release --example predict_from_artifact
+//! # Point at an artifact saved by the experiment binaries:
+//! QAOA_GNN_ARTIFACT=runs/fig5.gcn.json cargo run --release --example predict_from_artifact
+//! ```
+//!
+//! Demonstrates the deployment story behind [`qaoa_gnn::RunArtifact`]: the
+//! file bundles weights (bit-exact), configuration, training history and
+//! the dataset fingerprint, so warm-starting QAOA on a new graph is one
+//! `load` + one `predict` — no labeling, no training, and the predictions
+//! are the same bits the training process produced.
+
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
+
+use gnn::train::TrainConfig;
+use gnn::GnnKind;
+use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa_gnn::dataset::LabelConfig;
+use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
+use qaoa_gnn::RunArtifact;
+use qgraph::generate::DatasetSpec;
+use qgraph::Graph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::var("QAOA_GNN_ARTIFACT")
+        .ok()
+        .filter(|p| !p.trim().is_empty())
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("qaoa_gnn_example_artifact.json"));
+
+    if !path.exists() {
+        println!("no artifact at {} — training one (quick config)...", path.display());
+        let config = PipelineConfig::paper_scale()
+            .with_dataset(DatasetSpec::with_count(60))
+            .with_training(TrainConfig::quick(15))
+            .with_test_size(12)
+            .with_artifact_path(Some(path.clone()));
+        let config = PipelineConfig {
+            labeling: LabelConfig::quick(60),
+            ..config
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        Pipeline::run(GnnKind::Gcn, &config, &mut rng);
+        println!("saved artifact to {}", path.display());
+    }
+
+    let artifact = RunArtifact::load(&path)?;
+    println!(
+        "loaded {} artifact: {} parameters, {} training epochs, dataset fingerprint {:#018x}",
+        artifact.kind(),
+        artifact.weights.num_parameters(),
+        artifact.history.epochs.len(),
+        artifact.dataset_fingerprint,
+    );
+    let model = artifact.build_model()?;
+
+    println!("\n{:<22} {:>8} {:>8} {:>12} {:>8}", "graph", "gamma", "beta", "E[cut]", "ratio");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut instances = vec![
+        ("cycle(10)".to_string(), Graph::cycle(10)?),
+        ("complete(7)".to_string(), Graph::complete(7)?),
+        ("star(9)".to_string(), Graph::star(9)?),
+    ];
+    for i in 0..3 {
+        let g = qgraph::generate::erdos_renyi(8 + i, 0.5, &mut rng)?;
+        instances.push((format!("erdos_renyi(n={})", g.n()), g));
+    }
+    for (name, g) in &instances {
+        let (gamma, beta) = model.predict(g);
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(g));
+        let expectation = circuit.expectation(&Params::new(vec![gamma], vec![beta]));
+        let optimal = circuit.hamiltonian().optimal_value();
+        println!(
+            "{name:<22} {gamma:>8.4} {beta:>8.4} {expectation:>12.4} {:>8.3}",
+            expectation / optimal
+        );
+    }
+    println!("\n(predictions are bit-identical across processes — see tests/artifact_roundtrip.rs)");
+    Ok(())
+}

@@ -11,7 +11,20 @@ echo "==> offline release build (all targets)"
 cargo build --release --offline --all-targets
 
 echo "==> offline test suite"
-cargo test -q --offline
+test_log=$(mktemp)
+cargo test -q --offline | tee "$test_log"
+
+echo "==> test-count floor"
+# The suite must never silently shrink: the floor is the passing-test
+# count at the time of the last change to it. Raise it when adding tests.
+TEST_FLOOR=530
+total=$(grep -oE '[0-9]+ passed' "$test_log" | awk '{s+=$1} END {print s+0}')
+rm -f "$test_log"
+if [ "$total" -lt "$TEST_FLOOR" ]; then
+    echo "ERROR: only $total tests passed; floor is $TEST_FLOOR" >&2
+    exit 1
+fi
+echo "OK: $total tests (floor $TEST_FLOOR)"
 
 echo "==> dependency source guard"
 # Every package in the resolved graph must have "source": null (a path
@@ -41,5 +54,9 @@ echo "OK: benches run"
 echo "==> checkpoint/resume smoke (label, kill mid-journal, resume, diff)"
 cargo run --release --offline -q -p qaoa-gnn-bench --bin checkpoint_smoke
 echo "OK: checkpoint/resume round trip is bit-identical"
+
+echo "==> artifact smoke (train tiny, save, reload in a fresh process, diff bits)"
+cargo run --release --offline -q -p qaoa-gnn-bench --bin artifact_smoke
+echo "OK: saved artifacts reproduce in-memory predictions bit-exactly"
 
 echo "All checks passed."
