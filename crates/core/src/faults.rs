@@ -1,0 +1,323 @@
+//! Deterministic fault injection.
+//!
+//! Robustness claims are only as good as the failures they were tested
+//! against. This module provides **named failpoints** — fixed places in
+//! the serving and persistence paths where a test (or an operator, via the
+//! `QAOA_GNN_FAULTS` environment variable) can deterministically inject a
+//! panic, a NaN, or a typed error. Every rung of the serving degradation
+//! ladder and every typed error path is exercised by arming a failpoint
+//! and asserting the observable outcome, instead of trusting that the
+//! handler would work if the failure ever happened.
+//!
+//! # Failpoints
+//!
+//! | name | hooked in | effect when armed |
+//! |------|-----------|-------------------|
+//! | [`ARTIFACT_LOAD`] | [`crate::store::RunArtifact::load`] | load fails (`Error`) or panics (`Panic`) |
+//! | [`WEIGHT_BUILD`] | [`crate::serve::GuardedPredictor`] model construction | build fails or panics |
+//! | [`FORWARD`] | the guarded GNN forward pass | prediction panics (`Panic`) or returns NaN (`Nan`) |
+//! | [`SIM_EVAL`] | the guarded simulator verification | score becomes NaN (`Nan`) or evaluation panics |
+//! | [`JOURNAL_IO`] | [`crate::store::LabelJournal::append`] | append fails or panics |
+//!
+//! # Arming
+//!
+//! Programmatic (tests): [`armed`] returns an RAII guard that also holds a
+//! global lock, so concurrently running `#[test]`s that inject faults are
+//! serialized. Guard-armed failpoints additionally fire only on the arming
+//! thread, so tests that *don't* inject faults can run concurrently with
+//! ones that do and never observe their injections:
+//!
+//! ```
+//! use qaoa_gnn::faults::{self, FaultAction};
+//! let _guard = faults::armed(faults::FORWARD, FaultAction::Nan, 1);
+//! assert_eq!(faults::fire(faults::FORWARD), Some(FaultAction::Nan));
+//! assert_eq!(faults::fire(faults::FORWARD), None); // budget of 1 spent
+//! ```
+//!
+//! Environment (smoke tests, operations):
+//! `QAOA_GNN_FAULTS="forward=nan,artifact_load=err:2"` arms `forward` with
+//! one NaN injection and `artifact_load` with two error injections; the
+//! armed process behaves identically on every run — injection is counted,
+//! never random. Env-armed failpoints fire on any thread.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::thread::ThreadId;
+
+/// Failpoint inside [`crate::store::RunArtifact::load`].
+pub const ARTIFACT_LOAD: &str = "artifact_load";
+/// Failpoint around model reconstruction from artifact weights.
+pub const WEIGHT_BUILD: &str = "weight_build";
+/// Failpoint around the GNN forward pass on the serving path.
+pub const FORWARD: &str = "forward";
+/// Failpoint around the simulator verification of a served prediction.
+pub const SIM_EVAL: &str = "sim_eval";
+/// Failpoint inside [`crate::store::LabelJournal::append`].
+pub const JOURNAL_IO: &str = "journal_io";
+
+/// Every failpoint name, for enumeration in tests and docs.
+pub const ALL: [&str; 5] = [ARTIFACT_LOAD, WEIGHT_BUILD, FORWARD, SIM_EVAL, JOURNAL_IO];
+
+/// What an armed failpoint injects when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with a recognizable message (tests unwind isolation).
+    Panic,
+    /// Poison a numeric result with NaN (tests non-finite guardrails).
+    Nan,
+    /// Return a typed error (tests error propagation).
+    Error,
+}
+
+impl FaultAction {
+    fn parse(s: &str) -> Option<FaultAction> {
+        match s {
+            "panic" => Some(FaultAction::Panic),
+            "nan" => Some(FaultAction::Nan),
+            "err" | "error" => Some(FaultAction::Error),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAction::Panic => write!(f, "panic"),
+            FaultAction::Nan => write!(f, "nan"),
+            FaultAction::Error => write!(f, "err"),
+        }
+    }
+}
+
+/// One armed failpoint: what to inject and how many firings remain.
+///
+/// Guard-armed failpoints record the arming thread and fire only on it, so
+/// a `#[test]` injecting faults cannot contaminate unrelated tests running
+/// concurrently in the same binary. Env-armed failpoints carry no thread
+/// and fire process-wide.
+#[derive(Debug, Clone)]
+struct Armed {
+    name: String,
+    action: FaultAction,
+    remaining: u64,
+    thread: Option<ThreadId>,
+}
+
+struct Registry {
+    /// Armed failpoints; empty in production (the common case is one
+    /// `is_empty` check under an uncontended lock).
+    armed: Vec<Armed>,
+    env_loaded: bool,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            armed: Vec::new(),
+            env_loaded: false,
+        })
+    })
+}
+
+/// Locks the registry, tolerating poisoning: a failpoint whose injected
+/// panic unwound through a lock holder must not wedge every later test.
+fn lock() -> MutexGuard<'static, Registry> {
+    registry()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn load_env(reg: &mut Registry) {
+    if reg.env_loaded {
+        return;
+    }
+    reg.env_loaded = true;
+    let Ok(spec) = std::env::var("QAOA_GNN_FAULTS") else {
+        return;
+    };
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let (name, rest) = match entry.split_once('=') {
+            Some(pair) => pair,
+            None => (entry, "err"),
+        };
+        let (action_str, count_str) = match rest.split_once(':') {
+            Some((a, c)) => (a, c),
+            None => (rest, "1"),
+        };
+        let Some(action) = FaultAction::parse(action_str.trim()) else {
+            continue; // unknown actions are ignored, not fatal
+        };
+        let remaining = count_str.trim().parse::<u64>().unwrap_or(1).max(1);
+        reg.armed.push(Armed {
+            name: name.trim().to_string(),
+            action,
+            remaining,
+            thread: None,
+        });
+    }
+}
+
+fn matches_here(armed: &Armed, name: &str) -> bool {
+    armed.name == name
+        && armed
+            .thread
+            .map_or(true, |t| t == std::thread::current().id())
+}
+
+/// Consumes one firing of the named failpoint, if armed.
+///
+/// Returns the action to apply and decrements the failpoint's budget; a
+/// failpoint armed for `n` firings is disarmed after the `n`-th. Unarmed
+/// failpoints cost one short lock acquisition and return `None`.
+pub fn fire(name: &str) -> Option<FaultAction> {
+    let mut reg = lock();
+    load_env(&mut reg);
+    if reg.armed.is_empty() {
+        return None;
+    }
+    let idx = reg.armed.iter().position(|a| matches_here(a, name))?;
+    let action = reg.armed[idx].action;
+    reg.armed[idx].remaining -= 1;
+    if reg.armed[idx].remaining == 0 {
+        reg.armed.remove(idx);
+    }
+    Some(action)
+}
+
+/// `true` when the named failpoint is currently armed for this thread
+/// (does not consume a firing).
+pub fn is_armed(name: &str) -> bool {
+    let mut reg = lock();
+    load_env(&mut reg);
+    reg.armed.iter().any(|a| matches_here(a, name))
+}
+
+/// Panics with a recognizable message if the failpoint fires with
+/// [`FaultAction::Panic`]; otherwise returns the fired action (if any) for
+/// the caller to apply. Convenience for hook sites whose panic handling is
+/// `catch_unwind`-based.
+pub fn fire_may_panic(name: &str) -> Option<FaultAction> {
+    let action = fire(name)?;
+    if action == FaultAction::Panic {
+        panic!("fault injected: {name}");
+    }
+    Some(action)
+}
+
+fn test_lock() -> &'static Mutex<()> {
+    static TEST_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    TEST_LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// RAII guard for one armed failpoint; disarms on drop.
+///
+/// The guard also holds a process-wide mutex, so two tests arming faults
+/// concurrently serialize instead of observing each other's injections.
+pub struct FaultGuard {
+    name: String,
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let mut reg = lock();
+        reg.armed.retain(|a| a.name != self.name);
+    }
+}
+
+/// Arms `name` to fire `count` times with `action` **on this thread
+/// only**, returning a guard that disarms on drop. See [`FaultGuard`] for
+/// the concurrency contract. The guard holds a non-reentrant process-wide
+/// mutex: arm at most one failpoint at a time (drop the previous guard
+/// first), or the second call deadlocks.
+pub fn armed(name: &str, action: FaultAction, count: u64) -> FaultGuard {
+    let exclusive = test_lock()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut reg = lock();
+    // Replace any stale arming of the same name (e.g. a prior guard whose
+    // test panicked between arm and fire).
+    reg.armed.retain(|a| a.name != name);
+    reg.armed.push(Armed {
+        name: name.to_string(),
+        action,
+        remaining: count.max(1),
+        thread: Some(std::thread::current().id()),
+    });
+    drop(reg);
+    FaultGuard {
+        name: name.to_string(),
+        _exclusive: exclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_failpoints_fire_nothing() {
+        let _guard = armed("some_other_point", FaultAction::Nan, 1);
+        assert_eq!(fire("not_armed"), None);
+        assert!(!is_armed("not_armed"));
+    }
+
+    #[test]
+    fn armed_failpoint_fires_exactly_count_times() {
+        let _guard = armed(FORWARD, FaultAction::Nan, 3);
+        assert!(is_armed(FORWARD));
+        for _ in 0..3 {
+            assert_eq!(fire(FORWARD), Some(FaultAction::Nan));
+        }
+        assert_eq!(fire(FORWARD), None);
+        assert!(!is_armed(FORWARD));
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _guard = armed(SIM_EVAL, FaultAction::Error, 100);
+            assert!(is_armed(SIM_EVAL));
+        }
+        assert!(!is_armed(SIM_EVAL));
+    }
+
+    #[test]
+    fn fire_may_panic_panics_on_panic_action() {
+        let _guard = armed(JOURNAL_IO, FaultAction::Panic, 1);
+        let result = std::panic::catch_unwind(|| fire_may_panic(JOURNAL_IO));
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("fault injected: journal_io"));
+    }
+
+    #[test]
+    fn actions_parse_and_display() {
+        for action in [FaultAction::Panic, FaultAction::Nan, FaultAction::Error] {
+            assert_eq!(FaultAction::parse(&action.to_string()), Some(action));
+        }
+        assert_eq!(FaultAction::parse("error"), Some(FaultAction::Error));
+        assert_eq!(FaultAction::parse("bogus"), None);
+    }
+
+    #[test]
+    fn guard_armed_faults_are_thread_local() {
+        let _guard = armed(ARTIFACT_LOAD, FaultAction::Error, 1);
+        assert!(is_armed(ARTIFACT_LOAD));
+        // Another thread never sees a guard-armed fault.
+        let other = std::thread::spawn(|| (is_armed(ARTIFACT_LOAD), fire(ARTIFACT_LOAD)));
+        assert_eq!(other.join().unwrap(), (false, None));
+        // The arming thread still gets its full budget.
+        assert_eq!(fire(ARTIFACT_LOAD), Some(FaultAction::Error));
+    }
+
+    #[test]
+    fn all_names_are_distinct() {
+        for (i, a) in ALL.iter().enumerate() {
+            for b in &ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

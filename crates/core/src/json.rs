@@ -916,6 +916,32 @@ impl FromJson for LabelReport {
     }
 }
 
+impl ToJson for crate::store::TrainingEnvelope {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("min_nodes", Json::uint(self.min_nodes as u64)),
+            ("max_nodes", Json::uint(self.max_nodes as u64)),
+            ("max_degree", Json::uint(self.max_degree as u64)),
+            ("feature_dim", Json::uint(self.feature_dim as u64)),
+            ("mean_gamma", Json::float(self.mean_gamma)),
+            ("mean_beta", Json::float(self.mean_beta)),
+        ])
+    }
+}
+
+impl FromJson for crate::store::TrainingEnvelope {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(crate::store::TrainingEnvelope {
+            min_nodes: json.get("min_nodes")?.as_usize()?,
+            max_nodes: json.get("max_nodes")?.as_usize()?,
+            max_degree: json.get("max_degree")?.as_usize()?,
+            feature_dim: json.get("feature_dim")?.as_usize()?,
+            mean_gamma: json.get("mean_gamma")?.as_f64()?,
+            mean_beta: json.get("mean_beta")?.as_f64()?,
+        })
+    }
+}
+
 impl ToJson for FailurePolicy {
     fn to_json(&self) -> Json {
         Json::Str(

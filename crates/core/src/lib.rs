@@ -37,14 +37,20 @@
 
 pub mod dataset;
 pub mod eval;
+pub mod faults;
 pub mod fixed;
 pub mod json;
 pub mod pipeline;
 pub mod sdp;
+pub mod serve;
 pub mod store;
 
 pub use dataset::{Dataset, LabeledGraph};
 pub use eval::{EvaluationReport, GraphComparison};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pipeline::{Pipeline, PipelineConfig};
-pub use store::{ArtifactError, RunArtifact};
+pub use serve::{
+    EnvelopeStatus, GuardedPredictor, PredictionOutcome, RequestError, Rung, ServeConfig, Skip,
+    SkipReason,
+};
+pub use store::{ArtifactError, EnvelopeViolation, RunArtifact, TrainingEnvelope};

@@ -394,7 +394,9 @@ impl Pipeline {
 
     /// Bundles this run into a [`RunArtifact`]: the trained weights
     /// (bit-exact), `config`, the training history, the labeling report,
-    /// and the raw dataset's fingerprint.
+    /// the raw dataset's fingerprint, and the training envelope (what the
+    /// model actually saw after pruning/augmentation, so serving can tell
+    /// in-distribution requests from out-of-envelope ones).
     pub fn to_artifact(&self, config: &PipelineConfig) -> RunArtifact {
         RunArtifact {
             config: config.clone(),
@@ -403,6 +405,10 @@ impl Pipeline {
             label_report: self.label_report.clone(),
             dataset_fingerprint: store::fingerprint_graph_refs(
                 self.raw_dataset.entries.iter().map(|e| &e.graph),
+            ),
+            envelope: store::TrainingEnvelope::from_dataset(
+                &self.train_dataset,
+                config.model.features.dim(),
             ),
         }
     }

@@ -1,0 +1,700 @@
+//! Guarded serving: hostile-input-safe inference with a degradation ladder.
+//!
+//! [`RunArtifact`] answers "how do I persist a trained predictor";
+//! this module answers "how do I put one in front of untrusted requests".
+//! A [`GuardedPredictor`] wraps a loaded artifact and runs every request
+//! through four defenses:
+//!
+//! 1. **Strict input validation** — text requests parse under
+//!    [`ParseLimits`] (size/node/edge caps checked *before* allocation,
+//!    non-finite weights, self-loops and duplicate edges rejected with
+//!    typed, line-numbered [`qgraph::ParseError`]s); pre-built graphs are
+//!    checked against the same caps.
+//! 2. **Envelope checks** — the request is compared against the
+//!    [`TrainingEnvelope`] recorded in the artifact (§3.1 trains on
+//!    2–15-node graphs; Jain et al., arXiv:2111.03016, show GNN
+//!    warm-starts degrade out-of-distribution). Out-of-envelope requests
+//!    skip the GNN rung — or are rejected outright under
+//!    [`ServeConfig::strict_envelope`].
+//! 3. **Prediction guardrails** — non-finite model outputs are never
+//!    served; finite outputs are clamped to the principal domain
+//!    `γ ∈ [0, 2π]`, `β ∈ [0, π/2]` (a no-op for a healthy model, whose
+//!    sigmoid head already lands inside it, so guarded predictions are
+//!    bit-identical to the raw `predict` path). Small requests are
+//!    optionally re-checked on the simulator.
+//! 4. **A degradation ladder** — when a rung cannot serve, the request
+//!    falls to the next one, and every hop is recorded in the returned
+//!    [`PredictionOutcome`]:
+//!
+//! ```text
+//! GNN prediction  →  nearest fixed angles  →  envelope-mean / default init
+//! (rung Gnn)         (rung FixedAngle)        (rung Fallback, total)
+//! ```
+//!
+//! The ladder never panics and never falls silently: a caller always gets
+//! either a typed [`RequestError`] (the *request* was bad) or a
+//! [`PredictionOutcome`] naming the rung that answered and the reason for
+//! every rung that did not. [`GuardedPredictor::serve_batch`] additionally
+//! isolates requests from each other with `catch_unwind`, so one poisoned
+//! graph cannot take down a batch.
+//!
+//! Every defense is exercised by deterministic fault injection
+//! ([`crate::faults`]) rather than trusted on inspection — see
+//! `tests/serve_degradation.rs` for the failpoint × rung matrix.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use gnn::GnnModel;
+use qaoa::{fixed_angle, MaxCutHamiltonian, Params, QaoaCircuit};
+use qgraph::io::ParseLimits;
+use qgraph::{Graph, ParseError};
+
+use crate::faults::{self, FaultAction};
+use crate::store::{ArtifactError, EnvelopeViolation, RunArtifact, TrainingEnvelope};
+
+/// Serving policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Caps applied to incoming requests (text requests at parse time,
+    /// pre-built graphs before any other work).
+    pub limits: ParseLimits,
+    /// Reject out-of-envelope requests with [`RequestError::OutOfEnvelope`]
+    /// instead of degrading past the GNN rung.
+    pub strict_envelope: bool,
+    /// Verify served GNN / fixed-angle parameters on the statevector
+    /// simulator when the request has at most this many nodes (`0`
+    /// disables verification). A non-finite score degrades the rung.
+    pub verify_max_nodes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            limits: ParseLimits::serving(),
+            strict_envelope: false,
+            verify_max_nodes: 16,
+        }
+    }
+}
+
+/// A rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// The trained GNN's prediction (the paper's path).
+    Gnn,
+    /// Nearest fixed angles ([`fixed_angle::nearest_for_graph`]).
+    FixedAngle,
+    /// Envelope-mean label when the artifact records one, otherwise the
+    /// deterministic default init. Total: this rung always answers.
+    Fallback,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rung::Gnn => write!(f, "gnn"),
+            Rung::FixedAngle => write!(f, "fixed-angle"),
+            Rung::Fallback => write!(f, "fallback"),
+        }
+    }
+}
+
+/// Why a rung declined (or failed) to serve a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkipReason {
+    /// The model could not be reconstructed from the artifact's weights.
+    ModelUnavailable(String),
+    /// The request falls outside the recorded training envelope.
+    OutOfEnvelope(EnvelopeViolation),
+    /// The rung panicked; the panic was contained.
+    Panicked,
+    /// The rung produced a non-finite angle.
+    NonFinite {
+        /// The γ it produced.
+        gamma: f64,
+        /// The β it produced.
+        beta: f64,
+    },
+    /// Simulator verification produced a non-finite score.
+    VerificationFailed,
+    /// The rung does not apply to this graph (e.g. fixed angles on an
+    /// edgeless graph).
+    NotApplicable,
+}
+
+impl std::fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipReason::ModelUnavailable(e) => write!(f, "model unavailable: {e}"),
+            SkipReason::OutOfEnvelope(v) => write!(f, "out of training envelope: {v}"),
+            SkipReason::Panicked => write!(f, "panicked (contained)"),
+            SkipReason::NonFinite { gamma, beta } => {
+                write!(f, "non-finite prediction (γ={gamma}, β={beta})")
+            }
+            SkipReason::VerificationFailed => write!(f, "simulator verification failed"),
+            SkipReason::NotApplicable => write!(f, "not applicable to this graph"),
+        }
+    }
+}
+
+/// One recorded hop down the ladder: which rung was skipped and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skip {
+    /// The rung that declined.
+    pub rung: Rung,
+    /// Why it declined.
+    pub reason: SkipReason,
+}
+
+/// How the request relates to the artifact's training envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnvelopeStatus {
+    /// Inside the recorded envelope.
+    InEnvelope,
+    /// The artifact predates envelopes; the GNN served unchecked and this
+    /// outcome says so.
+    Unknown,
+    /// Outside the envelope (the GNN rung was skipped).
+    Violated(EnvelopeViolation),
+}
+
+/// The fully-accounted result of one guarded prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionOutcome {
+    /// The served parameters — always depth 1, always finite, always in
+    /// the principal domain.
+    pub params: Params,
+    /// The rung that produced them.
+    pub rung: Rung,
+    /// Every rung skipped on the way down, in ladder order. Empty when the
+    /// GNN served directly.
+    pub skips: Vec<Skip>,
+    /// Envelope standing of the request.
+    pub envelope: EnvelopeStatus,
+    /// Whether the guardrails had to clamp the serving rung's output into
+    /// the principal domain (`false` for a healthy model).
+    pub clamped: bool,
+    /// Simulator expectation of the served parameters, when verification
+    /// ran on the serving rung.
+    pub verified_score: Option<f64>,
+}
+
+impl PredictionOutcome {
+    /// The served `(γ, β)` pair.
+    pub fn angles(&self) -> (f64, f64) {
+        (self.params.gammas()[0], self.params.betas()[0])
+    }
+
+    /// `true` when the GNN itself answered with no degradation and no
+    /// clamping — the outcome a healthy deployment sees.
+    pub fn is_clean(&self) -> bool {
+        self.rung == Rung::Gnn && self.skips.is_empty() && !self.clamped
+    }
+
+    /// One-line human-readable account, e.g.
+    /// `fixed-angle (γ=0.6155, β=0.3927) after gnn: out of training envelope: …`.
+    pub fn summary(&self) -> String {
+        let (gamma, beta) = self.angles();
+        let mut s = format!("{} (γ={gamma:.4}, β={beta:.4})", self.rung);
+        if let Some(score) = self.verified_score {
+            s.push_str(&format!(", verified E[cut]={score:.4}"));
+        }
+        if self.clamped {
+            s.push_str(", clamped");
+        }
+        for skip in &self.skips {
+            s.push_str(&format!("; {} skipped: {}", skip.rung, skip.reason));
+        }
+        if self.envelope == EnvelopeStatus::Unknown {
+            s.push_str("; envelope unknown (pre-envelope artifact)");
+        }
+        s
+    }
+}
+
+/// Why a request was rejected outright (as opposed to served degraded).
+#[derive(Debug)]
+pub enum RequestError {
+    /// A text request failed validation; carries the line-numbered cause.
+    Parse(ParseError),
+    /// A pre-built graph exceeds the serving node cap.
+    TooManyNodes {
+        /// Request graph's node count.
+        n: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// A pre-built graph exceeds the serving edge cap.
+    TooManyEdges {
+        /// Request graph's edge count.
+        m: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// Out-of-envelope request under [`ServeConfig::strict_envelope`].
+    OutOfEnvelope(EnvelopeViolation),
+    /// The guarded pipeline itself panicked through every rung-level
+    /// defense (only reachable from [`GuardedPredictor::serve_batch`],
+    /// which contains it to the offending item).
+    Internal(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Parse(e) => write!(f, "invalid request: {e}"),
+            RequestError::TooManyNodes { n, cap } => {
+                write!(f, "request has {n} nodes, serving cap is {cap}")
+            }
+            RequestError::TooManyEdges { m, cap } => {
+                write!(f, "request has {m} edges, serving cap is {cap}")
+            }
+            RequestError::OutOfEnvelope(v) => {
+                write!(f, "request rejected (strict envelope): {v}")
+            }
+            RequestError::Internal(e) => write!(f, "internal serving failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<ParseError> for RequestError {
+    fn from(e: ParseError) -> Self {
+        RequestError::Parse(e)
+    }
+}
+
+/// Deterministic last-resort initialization when the artifact records no
+/// envelope mean: the degree-2 closed-form fixed angles `(π/4, π/8)` — a
+/// sane interior point of the principal domain for any instance.
+fn default_init() -> (f64, f64) {
+    (
+        std::f64::consts::FRAC_PI_4,
+        std::f64::consts::PI / 8.0,
+    )
+}
+
+/// A serving wrapper around a loaded [`RunArtifact`]: validation, envelope
+/// checks, guardrails and the degradation ladder, per the module docs.
+///
+/// Construction is infallible given an artifact: if the model cannot be
+/// rebuilt from the weights, the predictor still serves — every request
+/// simply starts one rung down, with the build failure recorded in each
+/// outcome's skip list.
+pub struct GuardedPredictor {
+    artifact: RunArtifact,
+    model: Result<GnnModel, String>,
+    config: ServeConfig,
+}
+
+impl GuardedPredictor {
+    /// Wraps an already-loaded artifact. Model reconstruction happens once,
+    /// here, behind the `weight_build` failpoint; failure (or a contained
+    /// panic) disables the GNN rung but not the predictor.
+    pub fn new(artifact: RunArtifact, config: ServeConfig) -> GuardedPredictor {
+        let model = catch_unwind(AssertUnwindSafe(|| {
+            if faults::fire_may_panic(faults::WEIGHT_BUILD).is_some() {
+                return Err("fault injected: weight_build".to_string());
+            }
+            artifact.build_model().map_err(|e| e.to_string())
+        }))
+        .unwrap_or_else(|_| Err("model construction panicked (contained)".to_string()));
+        GuardedPredictor {
+            artifact,
+            model,
+            config,
+        }
+    }
+
+    /// Loads an artifact from disk (full [`RunArtifact::load`] validation:
+    /// format, version, checksums, weight shapes) and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] — a predictor is never built on a file that
+    /// failed validation.
+    pub fn load<P: AsRef<std::path::Path>>(
+        path: P,
+        config: ServeConfig,
+    ) -> Result<GuardedPredictor, ArtifactError> {
+        Ok(GuardedPredictor::new(RunArtifact::load(path)?, config))
+    }
+
+    /// The wrapped artifact.
+    pub fn artifact(&self) -> &RunArtifact {
+        &self.artifact
+    }
+
+    /// `true` when the GNN rung is available (weights rebuilt cleanly).
+    pub fn model_available(&self) -> bool {
+        self.model.is_ok()
+    }
+
+    /// The training envelope the artifact records, if any.
+    pub fn envelope(&self) -> Option<&TrainingEnvelope> {
+        self.artifact.envelope.as_ref()
+    }
+
+    /// Serves a request arriving as graph text: strict limited parsing,
+    /// then [`Self::predict`].
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::Parse`] with the typed, line-numbered cause; then
+    /// anything [`Self::predict`] rejects.
+    pub fn predict_text(&self, text: &str) -> Result<PredictionOutcome, RequestError> {
+        let graph = qgraph::io::graph_from_str_limited(text, &self.config.limits)?;
+        self.predict(&graph)
+    }
+
+    /// Serves a request arriving as a pre-built graph: cap checks, envelope
+    /// check, then the ladder. Never panics; the fallback rung is total, so
+    /// an accepted request always yields finite in-domain parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::TooManyNodes`] / [`RequestError::TooManyEdges`] when
+    /// the request exceeds the serving caps, and
+    /// [`RequestError::OutOfEnvelope`] under strict envelope policy.
+    pub fn predict(&self, graph: &Graph) -> Result<PredictionOutcome, RequestError> {
+        if graph.n() > self.config.limits.max_nodes {
+            return Err(RequestError::TooManyNodes {
+                n: graph.n(),
+                cap: self.config.limits.max_nodes,
+            });
+        }
+        if graph.m() > self.config.limits.max_edges {
+            return Err(RequestError::TooManyEdges {
+                m: graph.m(),
+                cap: self.config.limits.max_edges,
+            });
+        }
+
+        let envelope = match self.envelope() {
+            None => EnvelopeStatus::Unknown,
+            Some(env) => match env.check(graph) {
+                Ok(()) => EnvelopeStatus::InEnvelope,
+                Err(v) if self.config.strict_envelope => {
+                    return Err(RequestError::OutOfEnvelope(v));
+                }
+                Err(v) => EnvelopeStatus::Violated(v),
+            },
+        };
+
+        let mut skips = Vec::new();
+
+        // Rung 1: the GNN.
+        match self.try_gnn(graph, envelope) {
+            Ok((params, clamped, score)) => {
+                return Ok(PredictionOutcome {
+                    params,
+                    rung: Rung::Gnn,
+                    skips,
+                    envelope,
+                    clamped,
+                    verified_score: score,
+                });
+            }
+            Err(reason) => skips.push(Skip {
+                rung: Rung::Gnn,
+                reason,
+            }),
+        }
+
+        // Rung 2: nearest fixed angles.
+        match self.try_fixed(graph) {
+            Ok((params, score)) => {
+                return Ok(PredictionOutcome {
+                    params,
+                    rung: Rung::FixedAngle,
+                    skips,
+                    envelope,
+                    clamped: false,
+                    verified_score: score,
+                });
+            }
+            Err(reason) => skips.push(Skip {
+                rung: Rung::FixedAngle,
+                reason,
+            }),
+        }
+
+        // Rung 3: total fallback — envelope mean when recorded, else the
+        // deterministic default. Never verified, never refused.
+        let (gamma, beta) = self
+            .envelope()
+            .map(TrainingEnvelope::mean_label)
+            .unwrap_or_else(default_init);
+        let (gamma, beta, clamped) = clamp_principal(gamma, beta);
+        Ok(PredictionOutcome {
+            params: Params::new(vec![gamma], vec![beta]),
+            rung: Rung::Fallback,
+            skips,
+            envelope,
+            clamped,
+            verified_score: None,
+        })
+    }
+
+    /// Serves a batch, isolating requests from each other: a request that
+    /// somehow panics through every rung-level defense is contained by an
+    /// outer `catch_unwind` and reported as [`RequestError::Internal`] for
+    /// that item alone — the rest of the batch is served normally.
+    pub fn serve_batch(&self, graphs: &[Graph]) -> Vec<Result<PredictionOutcome, RequestError>> {
+        graphs
+            .iter()
+            .map(|g| {
+                catch_unwind(AssertUnwindSafe(|| self.predict(g))).unwrap_or_else(|payload| {
+                    Err(RequestError::Internal(panic_message(&payload)))
+                })
+            })
+            .collect()
+    }
+
+    /// The GNN rung: forward pass behind the `forward` failpoint and a
+    /// panic guard, then finiteness + principal-domain guardrails, then
+    /// optional simulator verification behind the `sim_eval` failpoint.
+    fn try_gnn(
+        &self,
+        graph: &Graph,
+        envelope: EnvelopeStatus,
+    ) -> Result<(Params, bool, Option<f64>), SkipReason> {
+        let model = match &self.model {
+            Ok(m) => m,
+            Err(e) => return Err(SkipReason::ModelUnavailable(e.clone())),
+        };
+        if let EnvelopeStatus::Violated(v) = envelope {
+            return Err(SkipReason::OutOfEnvelope(v));
+        }
+        let (gamma, beta) = catch_unwind(AssertUnwindSafe(|| {
+            match faults::fire_may_panic(faults::FORWARD) {
+                // Any non-panic injection poisons the output, exercising
+                // the finiteness guardrail below.
+                Some(_) => (f64::NAN, f64::NAN),
+                None => model.predict(graph),
+            }
+        }))
+        .map_err(|_| SkipReason::Panicked)?;
+        if !gamma.is_finite() || !beta.is_finite() {
+            return Err(SkipReason::NonFinite { gamma, beta });
+        }
+        let (gamma, beta, clamped) = clamp_principal(gamma, beta);
+        let params = Params::new(vec![gamma], vec![beta]);
+        let score = self.verify(graph, &params)?;
+        Ok((params, clamped, score))
+    }
+
+    /// The fixed-angle rung: nearest tree-subgraph angles, verified like a
+    /// GNN prediction.
+    fn try_fixed(&self, graph: &Graph) -> Result<(Params, Option<f64>), SkipReason> {
+        let fa = fixed_angle::nearest_for_graph(graph).ok_or(SkipReason::NotApplicable)?;
+        let score = self.verify(graph, &fa.params)?;
+        Ok((fa.params, score))
+    }
+
+    /// Simulator verification of a candidate: `Ok(None)` when disabled or
+    /// the graph is too large to simulate, `Ok(Some(score))` on a finite
+    /// expectation, and a [`SkipReason`] (degrading the rung) on a
+    /// non-finite score or a contained panic.
+    fn verify(&self, graph: &Graph, params: &Params) -> Result<Option<f64>, SkipReason> {
+        if self.config.verify_max_nodes == 0 || graph.n() > self.config.verify_max_nodes {
+            return Ok(None);
+        }
+        let score = catch_unwind(AssertUnwindSafe(|| {
+            match faults::fire_may_panic(faults::SIM_EVAL) {
+                Some(FaultAction::Nan) => f64::NAN,
+                Some(_) => f64::NAN,
+                None => {
+                    QaoaCircuit::new(MaxCutHamiltonian::new(graph)).expectation(params)
+                }
+            }
+        }))
+        .map_err(|_| SkipReason::Panicked)?;
+        if !score.is_finite() {
+            return Err(SkipReason::VerificationFailed);
+        }
+        Ok(Some(score))
+    }
+}
+
+/// Clamps `(γ, β)` into the principal domain `γ ∈ [0, 2π]`, `β ∈ [0, π/2]`,
+/// reporting whether anything moved. Exact no-op (same bits) for in-domain
+/// inputs, which is what keeps guarded serving bit-identical to the raw
+/// prediction path.
+fn clamp_principal(gamma: f64, beta: f64) -> (f64, f64, bool) {
+    let g = gamma.clamp(0.0, std::f64::consts::TAU);
+    let b = beta.clamp(0.0, std::f64::consts::FRAC_PI_2);
+    (g, b, g != gamma || b != beta)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn::train::TrainHistory;
+    use gnn::{GnnKind, GnnModel};
+    use qrand::rngs::StdRng;
+    use qrand::SeedableRng;
+
+    use crate::dataset::LabelReport;
+    use crate::pipeline::PipelineConfig;
+
+    fn tiny_artifact(envelope: Option<TrainingEnvelope>) -> RunArtifact {
+        let mut rng = StdRng::seed_from_u64(4001);
+        let config = gnn::ModelConfig {
+            hidden_dim: 4,
+            ..gnn::ModelConfig::default()
+        };
+        let model = GnnModel::new(GnnKind::Gcn, config, &mut rng);
+        RunArtifact {
+            config: PipelineConfig::quick(),
+            weights: model.export_weights(),
+            history: TrainHistory::default(),
+            label_report: LabelReport::clean(1),
+            dataset_fingerprint: 0,
+            envelope,
+        }
+    }
+
+    fn wide_envelope() -> TrainingEnvelope {
+        TrainingEnvelope {
+            min_nodes: 2,
+            max_nodes: 15,
+            max_degree: 14,
+            feature_dim: 16,
+            mean_gamma: 1.0,
+            mean_beta: 0.5,
+        }
+    }
+
+    #[test]
+    fn clean_request_is_bit_identical_to_raw_predict() {
+        let artifact = tiny_artifact(Some(wide_envelope()));
+        let raw = artifact.build_model().unwrap();
+        let served = GuardedPredictor::new(artifact, ServeConfig::default());
+        let g = Graph::cycle(8).unwrap();
+        let (rg, rb) = raw.predict(&g);
+        let outcome = served.predict(&g).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.envelope, EnvelopeStatus::InEnvelope);
+        let (sg, sb) = outcome.angles();
+        assert_eq!(rg.to_bits(), sg.to_bits());
+        assert_eq!(rb.to_bits(), sb.to_bits());
+        assert!(outcome.verified_score.is_some());
+    }
+
+    #[test]
+    fn text_request_round_trips_through_strict_parser() {
+        let served =
+            GuardedPredictor::new(tiny_artifact(Some(wide_envelope())), ServeConfig::default());
+        let g = Graph::cycle(6).unwrap();
+        let text = qgraph::io::graph_to_string(&g);
+        let from_text = served.predict_text(&text).unwrap();
+        let from_graph = served.predict(&g).unwrap();
+        assert_eq!(from_text, from_graph);
+        // Malformed text is a typed rejection, not a panic or a fallback.
+        match served.predict_text("n 3\ne 0 1 nan\n") {
+            Err(RequestError::Parse(e)) => assert_eq!(e.line, 2),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_envelope_degrades_and_strict_rejects() {
+        let narrow = TrainingEnvelope {
+            max_nodes: 6,
+            ..wide_envelope()
+        };
+        let big = Graph::cycle(10).unwrap();
+        let served = GuardedPredictor::new(tiny_artifact(Some(narrow.clone())), ServeConfig::default());
+        let outcome = served.predict(&big).unwrap();
+        assert_ne!(outcome.rung, Rung::Gnn);
+        assert!(matches!(outcome.envelope, EnvelopeStatus::Violated(_)));
+        assert!(outcome
+            .skips
+            .iter()
+            .any(|s| s.rung == Rung::Gnn && matches!(s.reason, SkipReason::OutOfEnvelope(_))));
+
+        let strict = GuardedPredictor::new(
+            tiny_artifact(Some(narrow)),
+            ServeConfig {
+                strict_envelope: true,
+                ..ServeConfig::default()
+            },
+        );
+        match strict.predict(&big) {
+            Err(RequestError::OutOfEnvelope(EnvelopeViolation::NodeCount { n: 10, .. })) => {}
+            other => panic!("expected strict rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_envelope_artifact_serves_with_unknown_status() {
+        let served = GuardedPredictor::new(tiny_artifact(None), ServeConfig::default());
+        let outcome = served.predict(&Graph::cycle(5).unwrap()).unwrap();
+        assert_eq!(outcome.rung, Rung::Gnn);
+        assert_eq!(outcome.envelope, EnvelopeStatus::Unknown);
+        assert!(outcome.summary().contains("envelope unknown"));
+    }
+
+    #[test]
+    fn oversized_graph_request_is_rejected_before_any_work() {
+        let served = GuardedPredictor::new(
+            tiny_artifact(None),
+            ServeConfig {
+                limits: ParseLimits {
+                    max_nodes: 8,
+                    ..ParseLimits::serving()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        match served.predict(&Graph::cycle(9).unwrap()) {
+            Err(RequestError::TooManyNodes { n: 9, cap: 8 }) => {}
+            other => panic!("expected TooManyNodes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_uses_envelope_mean_then_default() {
+        // Edgeless graph: fixed angles do not apply, so a non-finite GNN
+        // output lands on the fallback rung.
+        let g = Graph::empty(4).unwrap();
+        let served =
+            GuardedPredictor::new(tiny_artifact(Some(wide_envelope())), ServeConfig::default());
+        let _fault = faults::armed(faults::FORWARD, FaultAction::Nan, 1);
+        let outcome = served.predict(&g).unwrap();
+        assert_eq!(outcome.rung, Rung::Fallback);
+        assert_eq!(outcome.angles(), (1.0, 0.5)); // the envelope mean
+        assert_eq!(outcome.skips.len(), 2);
+        drop(_fault);
+
+        let bare = GuardedPredictor::new(tiny_artifact(None), ServeConfig::default());
+        let _fault = faults::armed(faults::FORWARD, FaultAction::Nan, 1);
+        let outcome = bare.predict(&g).unwrap();
+        assert_eq!(outcome.rung, Rung::Fallback);
+        assert_eq!(outcome.angles(), default_init());
+    }
+
+    #[test]
+    fn clamp_is_a_bitwise_no_op_in_domain() {
+        let (g, b, moved) = clamp_principal(1.25, 0.5);
+        assert!(!moved);
+        assert_eq!(g.to_bits(), 1.25f64.to_bits());
+        assert_eq!(b.to_bits(), 0.5f64.to_bits());
+        let (g, b, moved) = clamp_principal(-0.1, 2.0);
+        assert!(moved);
+        assert_eq!(g, 0.0);
+        assert_eq!(b, std::f64::consts::FRAC_PI_2);
+    }
+}

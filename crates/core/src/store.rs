@@ -28,6 +28,7 @@ use qaoa::Params;
 use qgraph::Graph;
 
 use crate::dataset::{label_graph, Dataset, LabelConfig, LabelReport, LabeledGraph};
+use crate::faults;
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::pipeline::PipelineConfig;
 
@@ -345,6 +346,12 @@ impl LabelJournal {
     /// Filesystem errors; the labeling engine aborts the batch on the first
     /// one (a silently broken journal would defeat the checkpoint).
     pub fn append(&mut self, index: usize, entry: &LabeledGraph) -> io::Result<()> {
+        if faults::fire_may_panic(faults::JOURNAL_IO).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                "fault injected: journal_io",
+            ));
+        }
         qgraph::io::write_graph(&entry.graph, self.dir.join(graph_file_name(index)))?;
         self.file.write_all(journal_line(index, entry).as_bytes())?;
         self.file.sync_data()
@@ -420,6 +427,132 @@ fn fnv1a_bytes(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// The distribution a model was trained on, recorded inside its artifact
+/// so a serving layer can tell in-distribution requests from
+/// out-of-envelope ones (§3.1: the paper trains on 2–15-node graphs;
+/// Jain et al., arXiv:2111.03016, show GNN warm-starts degrade
+/// out-of-distribution).
+///
+/// Besides the envelope bounds, the mean *canonical* training label is
+/// recorded: it is the natural "interpolated" fallback initialization when
+/// the model itself cannot be trusted for a request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingEnvelope {
+    /// Smallest node count seen in training.
+    pub min_nodes: usize,
+    /// Largest node count seen in training.
+    pub max_nodes: usize,
+    /// Largest node degree seen in training.
+    pub max_degree: usize,
+    /// Input feature dimensionality the model was built for.
+    pub feature_dim: usize,
+    /// Mean canonical γ over the training labels.
+    pub mean_gamma: f64,
+    /// Mean canonical β over the training labels.
+    pub mean_beta: f64,
+}
+
+/// How a request graph falls outside a [`TrainingEnvelope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeViolation {
+    /// The graph's node count is outside the trained range.
+    NodeCount {
+        /// Request graph's node count.
+        n: usize,
+        /// Trained minimum.
+        min: usize,
+        /// Trained maximum.
+        max: usize,
+    },
+    /// The graph's maximum degree exceeds anything seen in training.
+    Degree {
+        /// Request graph's maximum degree.
+        max_degree: usize,
+        /// Trained maximum degree.
+        trained_max: usize,
+    },
+}
+
+impl std::fmt::Display for EnvelopeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeViolation::NodeCount { n, min, max } => {
+                write!(f, "{n} nodes outside trained range [{min}, {max}]")
+            }
+            EnvelopeViolation::Degree {
+                max_degree,
+                trained_max,
+            } => write!(
+                f,
+                "max degree {max_degree} exceeds trained maximum {trained_max}"
+            ),
+        }
+    }
+}
+
+impl TrainingEnvelope {
+    /// Computes the envelope of a (training) dataset for a model whose
+    /// input width is `feature_dim`. Returns `None` for an empty dataset —
+    /// there is no envelope to speak of.
+    pub fn from_dataset(dataset: &Dataset, feature_dim: usize) -> Option<TrainingEnvelope> {
+        if dataset.entries.is_empty() {
+            return None;
+        }
+        let mut min_nodes = usize::MAX;
+        let mut max_nodes = 0usize;
+        let mut max_degree = 0usize;
+        let mut sum_gamma = 0.0;
+        let mut sum_beta = 0.0;
+        for entry in &dataset.entries {
+            min_nodes = min_nodes.min(entry.graph.n());
+            max_nodes = max_nodes.max(entry.graph.n());
+            max_degree = max_degree.max(entry.graph.max_degree());
+            let canonical = entry.params.canonical();
+            sum_gamma += canonical.gammas()[0];
+            sum_beta += canonical.betas()[0];
+        }
+        let count = dataset.entries.len() as f64;
+        Some(TrainingEnvelope {
+            min_nodes,
+            max_nodes,
+            max_degree,
+            feature_dim,
+            mean_gamma: sum_gamma / count,
+            mean_beta: sum_beta / count,
+        })
+    }
+
+    /// Checks a request graph against the envelope.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EnvelopeViolation`], checked node count then degree.
+    pub fn check(&self, graph: &Graph) -> Result<(), EnvelopeViolation> {
+        let n = graph.n();
+        if n < self.min_nodes || n > self.max_nodes {
+            return Err(EnvelopeViolation::NodeCount {
+                n,
+                min: self.min_nodes,
+                max: self.max_nodes,
+            });
+        }
+        let max_degree = graph.max_degree();
+        if max_degree > self.max_degree {
+            return Err(EnvelopeViolation::Degree {
+                max_degree,
+                trained_max: self.max_degree,
+            });
+        }
+        Ok(())
+    }
+
+    /// The mean canonical training label `(γ̄, β̄)` — the interpolated
+    /// fallback initialization.
+    pub fn mean_label(&self) -> (f64, f64) {
+        (self.mean_gamma, self.mean_beta)
+    }
 }
 
 /// Why a run artifact failed to load. Every corruption mode maps to a
@@ -540,12 +673,16 @@ pub struct RunArtifact {
     pub label_report: LabelReport,
     /// [`fingerprint_graphs`] of the raw labeled dataset.
     pub dataset_fingerprint: u64,
+    /// The training distribution the weights are trustworthy on; `None`
+    /// for artifacts written before envelopes existed (the serving layer
+    /// then treats every request as out-of-envelope-unknown and says so).
+    pub envelope: Option<TrainingEnvelope>,
 }
 
 impl RunArtifact {
     /// Builds the artifact's JSON tree, checksumming each section.
     pub fn to_json(&self) -> Json {
-        let sections: Vec<(String, Json)> = vec![
+        let mut sections: Vec<(String, Json)> = vec![
             ("config".to_string(), self.config.to_json()),
             ("weights".to_string(), self.weights.to_json()),
             ("history".to_string(), self.history.to_json()),
@@ -558,6 +695,9 @@ impl RunArtifact {
                 )]),
             ),
         ];
+        if let Some(envelope) = &self.envelope {
+            sections.push(("envelope".to_string(), envelope.to_json()));
+        }
         let checksums: Vec<(String, Json)> = sections
             .iter()
             .map(|(name, value)| {
@@ -624,6 +764,26 @@ impl RunArtifact {
             }
             verified.push(section);
         }
+        // The envelope section is optional (added after version 1 shipped)
+        // but checksummed like every other section when present.
+        let envelope = match sections.get_opt("envelope")? {
+            Some(section) => {
+                let stored = checksums
+                    .get_opt("envelope")?
+                    .ok_or(ArtifactError::MissingSection("envelope"))?
+                    .as_u64()?;
+                let computed = fnv1a_bytes(section.to_compact().as_bytes());
+                if computed != stored {
+                    return Err(ArtifactError::ChecksumMismatch {
+                        section: "envelope",
+                        stored,
+                        computed,
+                    });
+                }
+                Some(TrainingEnvelope::from_json(section)?)
+            }
+            None => None,
+        };
         let weights = ModelWeights::from_json(verified[1])?;
         weights.validate()?;
         Ok(RunArtifact {
@@ -632,6 +792,7 @@ impl RunArtifact {
             history: TrainHistory::from_json(verified[2])?,
             label_report: LabelReport::from_json(verified[3])?,
             dataset_fingerprint: verified[4].get("fingerprint")?.as_u64()?,
+            envelope,
         })
     }
 
@@ -662,6 +823,12 @@ impl RunArtifact {
     /// version, failed checksum, undecodable section, or weights that do
     /// not fit the declared architecture.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<RunArtifact, ArtifactError> {
+        if faults::fire_may_panic(faults::ARTIFACT_LOAD).is_some() {
+            return Err(ArtifactError::Io(io::Error::new(
+                io::ErrorKind::Other,
+                "fault injected: artifact_load",
+            )));
+        }
         let text = fs::read_to_string(path)?;
         let json = Json::parse(&text)?;
         Self::from_json(&json)
@@ -907,6 +1074,7 @@ mod tests {
             history: TrainHistory::default(),
             label_report: LabelReport::clean(3),
             dataset_fingerprint: fingerprint_graphs(&journal_graphs(seed, 3)),
+            envelope: None,
         }
     }
 
@@ -927,6 +1095,63 @@ mod tests {
             );
         }
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn envelope_round_trips_and_is_checksummed() {
+        let mut artifact = tiny_artifact(GnnKind::Gat, 420);
+        artifact.envelope = Some(TrainingEnvelope {
+            min_nodes: 2,
+            max_nodes: 15,
+            max_degree: 7,
+            feature_dim: 16,
+            mean_gamma: 1.25,
+            mean_beta: 0.5,
+        });
+        let dir = temp_dir("artifact_envelope");
+        let path = dir.join("run.json");
+        artifact.save(&path).unwrap();
+        let back = RunArtifact::load(&path).unwrap();
+        assert_eq!(artifact, back);
+        // Tampering with the envelope section is caught like any other.
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("\"max_degree\": 7", "\"max_degree\": 99");
+        assert_ne!(text, tampered);
+        fs::write(&path, tampered).unwrap();
+        match RunArtifact::load(&path) {
+            Err(ArtifactError::ChecksumMismatch { section: "envelope", .. }) => {}
+            other => panic!("expected envelope checksum mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn envelope_from_dataset_records_bounds_and_mean_label() {
+        use crate::dataset::LabelConfig;
+        let dataset = Dataset::generate(
+            &qgraph::generate::DatasetSpec::with_count(8),
+            &LabelConfig::quick(20),
+            21,
+        )
+        .unwrap();
+        let env = TrainingEnvelope::from_dataset(&dataset, 16).unwrap();
+        assert!(env.min_nodes <= env.max_nodes);
+        assert!(env.max_degree < env.max_nodes);
+        assert_eq!(env.feature_dim, 16);
+        let (g, b) = env.mean_label();
+        assert!(g.is_finite() && b.is_finite());
+        // Canonical means live in the principal domain.
+        assert!((0.0..=std::f64::consts::TAU).contains(&g));
+        assert!((0.0..=std::f64::consts::FRAC_PI_2).contains(&b));
+        // In-envelope graphs pass, out-of-envelope ones name the violation.
+        assert!(env.check(&dataset.entries[0].graph).is_ok());
+        let big = qgraph::Graph::cycle(env.max_nodes + 5).unwrap();
+        assert!(matches!(
+            env.check(&big),
+            Err(EnvelopeViolation::NodeCount { .. })
+        ));
+        // Empty dataset: no envelope.
+        assert!(TrainingEnvelope::from_dataset(&Dataset { entries: vec![] }, 16).is_none());
     }
 
     #[test]

@@ -415,12 +415,28 @@ impl GnnModel {
     pub fn predict_ctx(&self, ctx: &GraphContext) -> (f64, f64) {
         let was_training = self.tape.is_training();
         self.tape.set_training(false);
+        // Restore the training flag and drop the forward graph even when
+        // the pass unwinds: a caller that catches the panic (e.g. a serving
+        // layer isolating one bad request) must get the model back in a
+        // usable state, not stuck in eval mode with a half-built tape.
+        struct Restore<'a> {
+            tape: &'a Tape,
+            was_training: bool,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.tape.set_training(self.was_training);
+                self.tape.reset();
+            }
+        }
+        let _restore = Restore {
+            tape: &self.tape,
+            was_training,
+        };
         // Dropout is disabled, so the RNG is never consulted; a trivial
         // deterministic generator keeps the signature honest.
         let mut rng = qrand::rngs::mock::StepRng::new(0, 1);
         let out = self.forward(ctx, &mut rng).value();
-        self.tape.set_training(was_training);
-        self.tape.reset();
         crate::denormalize_target([out[(0, 0)], out[(0, 1)]])
     }
 }

@@ -87,6 +87,32 @@ pub fn for_graph(graph: &qgraph::Graph) -> Option<FixedAngles> {
     }
 }
 
+/// Best-effort fixed angles for *any* graph with at least one edge: uses
+/// the exact degree when the graph is regular, otherwise the mean degree
+/// rounded to the nearest integer, saturated at the top of
+/// [`LOOKUP_DEGREES`] (the closed form covers degrees 1 and 2 below the
+/// paper's table, so only the upper end is clamped).
+///
+/// Unlike [`for_graph`] — which mirrors the paper's partial coverage and
+/// answers only for in-table regular graphs — this is the degradation
+/// fallback for serving: when a GNN prediction cannot be trusted, the
+/// nearest tree-subgraph angles are a principled initialization for
+/// irregular and out-of-table instances too. Returns `None` only for
+/// edgeless graphs (degree 0 — nothing to fix).
+pub fn nearest_for_graph(graph: &qgraph::Graph) -> Option<FixedAngles> {
+    if graph.m() == 0 {
+        return None;
+    }
+    let d = match graph.regular_degree() {
+        Some(d) => d,
+        None => {
+            let mean = 2.0 * graph.m() as f64 / graph.n() as f64;
+            (mean.round() as usize).max(1)
+        }
+    };
+    Some(fixed_angles(d.min(*LOOKUP_DEGREES.end())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +195,26 @@ mod tests {
         assert!(for_graph(&star).is_none());
         let k4 = qgraph::Graph::complete(4).unwrap(); // 3-regular
         assert_eq!(for_graph(&k4).unwrap().degree, 3);
+    }
+
+    #[test]
+    fn nearest_for_graph_covers_what_for_graph_cannot() {
+        // Exact regular degree is used even below the paper's table.
+        let ring = qgraph::Graph::cycle(6).unwrap(); // 2-regular
+        assert_eq!(nearest_for_graph(&ring).unwrap().degree, 2);
+        // Irregular: mean degree rounded. star(5) has 4 edges on 5 nodes
+        // (mean 1.6 → 2).
+        let star = qgraph::Graph::star(5).unwrap();
+        assert_eq!(nearest_for_graph(&star).unwrap().degree, 2);
+        // Above the table: saturate at its top.
+        let k14 = qgraph::Graph::complete(14).unwrap(); // 13-regular
+        assert_eq!(nearest_for_graph(&k14).unwrap().degree, 11);
+        // Edgeless: nothing to fix.
+        let empty = qgraph::Graph::empty(4).unwrap();
+        assert!(nearest_for_graph(&empty).is_none());
+        // Agrees with `for_graph` wherever the latter answers.
+        let k4 = qgraph::Graph::complete(4).unwrap();
+        assert_eq!(nearest_for_graph(&k4), for_graph(&k4));
     }
 
     #[test]

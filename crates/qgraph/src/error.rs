@@ -1,6 +1,123 @@
 use std::error::Error;
 use std::fmt;
 
+/// What went wrong at one line of graph text — the typed payload of a
+/// [`ParseError`]. Structural problems (self-loops, duplicate edges,
+/// non-finite weights, out-of-range endpoints) are first-class variants so
+/// a serving layer can report *why* an input was rejected without string
+/// matching.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// A token was missing or failed to lex (`message` describes it).
+    Syntax(String),
+    /// The `n` header line was missing entirely.
+    MissingHeader,
+    /// A second `n` line appeared.
+    DuplicateHeader,
+    /// An unknown record type opened the line.
+    UnknownRecord(String),
+    /// An edge weight parsed but is NaN or ±∞.
+    NonFiniteWeight(f64),
+    /// An edge connected a node to itself.
+    SelfLoop(usize),
+    /// The same unordered pair appeared twice.
+    DuplicateEdge(usize, usize),
+    /// An edge endpoint referenced a node `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Declared node count.
+        n: usize,
+    },
+    /// The declared node count exceeds the caller's cap.
+    TooManyNodes {
+        /// Declared node count.
+        n: usize,
+        /// Enforced cap.
+        cap: usize,
+    },
+    /// The edge list exceeds the caller's cap.
+    TooManyEdges {
+        /// Number of edges seen so far.
+        m: usize,
+        /// Enforced cap.
+        cap: usize,
+    },
+    /// The raw input is larger than the caller's byte cap.
+    InputTooLarge {
+        /// Input length in bytes.
+        bytes: usize,
+        /// Enforced cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::Syntax(msg) => write!(f, "{msg}"),
+            ParseErrorKind::MissingHeader => write!(f, "missing 'n' line"),
+            ParseErrorKind::DuplicateHeader => write!(f, "duplicate 'n' line"),
+            ParseErrorKind::UnknownRecord(r) => write!(f, "unknown record type '{r}'"),
+            ParseErrorKind::NonFiniteWeight(w) => {
+                write!(f, "edge weight {w} is not finite")
+            }
+            ParseErrorKind::SelfLoop(v) => write!(f, "self loop at node {v}"),
+            ParseErrorKind::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            ParseErrorKind::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            ParseErrorKind::TooManyNodes { n, cap } => {
+                write!(f, "node count {n} exceeds cap {cap}")
+            }
+            ParseErrorKind::TooManyEdges { m, cap } => {
+                write!(f, "edge count {m} exceeds cap {cap}")
+            }
+            ParseErrorKind::InputTooLarge { bytes, cap } => {
+                write!(f, "input of {bytes} bytes exceeds cap {cap}")
+            }
+        }
+    }
+}
+
+/// A graph-text parse failure: a typed [`ParseErrorKind`] anchored to a
+/// 1-based line number (`0` when the failure is about the file as a whole,
+/// e.g. a missing header or an oversized input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the failure; `0` for whole-file conditions.
+    pub line: usize,
+    /// What went wrong there.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Creates a parse error at `line`.
+    pub fn new(line: usize, kind: ParseErrorKind) -> Self {
+        ParseError { line, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.kind)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<ParseError> for GraphError {
+    /// Collapses a typed parse error into the legacy [`GraphError::Parse`]
+    /// shape for callers that funnel all graph failures into one enum.
+    fn from(e: ParseError) -> Self {
+        GraphError::Parse {
+            line: e.line,
+            message: e.kind.to_string(),
+        }
+    }
+}
+
 /// Errors produced when constructing or parsing graphs.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]

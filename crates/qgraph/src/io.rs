@@ -18,7 +18,48 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::{Graph, GraphError};
+use crate::{Graph, GraphError, ParseError, ParseErrorKind};
+
+/// Resource caps enforced while parsing untrusted graph text.
+///
+/// The parser is total — it never panics — but without caps a hostile
+/// input can still declare a billion-node graph and make the caller
+/// allocate it. `ParseLimits` bounds the input size, the declared node
+/// count, and the edge count *before* any allocation proportional to them
+/// happens. [`ParseLimits::default`] is sized for offline dataset files;
+/// [`ParseLimits::serving`] is the strict profile a request path should
+/// use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum raw input length in bytes.
+    pub max_bytes: usize,
+    /// Maximum declared node count.
+    pub max_nodes: usize,
+    /// Maximum edge-record count.
+    pub max_edges: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: 64 << 20,
+            max_nodes: 1 << 20,
+            max_edges: 1 << 24,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Strict limits for parsing request payloads on a serving path:
+    /// 1 MiB of text, 4096 nodes, 1M edges.
+    pub fn serving() -> Self {
+        ParseLimits {
+            max_bytes: 1 << 20,
+            max_nodes: 4096,
+            max_edges: 1 << 20,
+        }
+    }
+}
 
 /// Serializes a graph to the text format.
 ///
@@ -46,14 +87,38 @@ pub fn graph_to_string(graph: &Graph) -> String {
     out
 }
 
-/// Parses a graph from the text format.
+/// Parses a graph from the text format with [`ParseLimits::default`] caps.
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::Parse`] with a 1-based line number on malformed
-/// input, and the usual construction errors for invalid edges.
-pub fn graph_from_str(text: &str) -> Result<Graph, GraphError> {
+/// Returns a typed [`ParseError`] anchored to a 1-based line number.
+/// Structural problems — self-loops, duplicate edges, non-finite weights,
+/// out-of-range endpoints — are reported against the line that introduced
+/// them, not as bare construction errors.
+pub fn graph_from_str(text: &str) -> Result<Graph, ParseError> {
+    graph_from_str_limited(text, &ParseLimits::default())
+}
+
+/// [`graph_from_str`] with caller-chosen resource caps — the entry point
+/// for untrusted request payloads.
+///
+/// # Errors
+///
+/// Typed [`ParseError`]s; cap violations surface as
+/// [`ParseErrorKind::InputTooLarge`], [`ParseErrorKind::TooManyNodes`] or
+/// [`ParseErrorKind::TooManyEdges`] before any proportional allocation.
+pub fn graph_from_str_limited(text: &str, limits: &ParseLimits) -> Result<Graph, ParseError> {
+    if text.len() > limits.max_bytes {
+        return Err(ParseError::new(
+            0,
+            ParseErrorKind::InputTooLarge {
+                bytes: text.len(),
+                cap: limits.max_bytes,
+            },
+        ));
+    }
     let mut graph: Option<Graph> = None;
+    let mut edges = 0usize;
     let mut pending: Vec<(usize, usize, f64, usize)> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -66,40 +131,78 @@ pub fn graph_from_str(text: &str) -> Result<Graph, GraphError> {
             Some("n") => {
                 let n: usize = parse_field(parts.next(), lineno, "node count")?;
                 if graph.is_some() {
-                    return Err(GraphError::Parse {
-                        line: lineno,
-                        message: "duplicate 'n' line".into(),
-                    });
+                    return Err(ParseError::new(lineno, ParseErrorKind::DuplicateHeader));
                 }
-                graph = Some(Graph::empty(n)?);
+                if n > limits.max_nodes {
+                    return Err(ParseError::new(
+                        lineno,
+                        ParseErrorKind::TooManyNodes {
+                            n,
+                            cap: limits.max_nodes,
+                        },
+                    ));
+                }
+                if n == 0 {
+                    return Err(ParseError::new(
+                        lineno,
+                        ParseErrorKind::Syntax("node count must be positive".into()),
+                    ));
+                }
+                graph = Some(Graph::empty(n).expect("positive node count"));
             }
             Some("e") => {
                 let u: usize = parse_field(parts.next(), lineno, "edge endpoint u")?;
                 let v: usize = parse_field(parts.next(), lineno, "edge endpoint v")?;
                 let w: f64 = match parts.next() {
-                    Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
-                        line: lineno,
-                        message: format!("invalid weight '{tok}'"),
+                    Some(tok) => tok.parse().map_err(|_| {
+                        ParseError::new(
+                            lineno,
+                            ParseErrorKind::Syntax(format!("invalid weight '{tok}'")),
+                        )
                     })?,
                     None => 1.0,
                 };
+                if !w.is_finite() {
+                    return Err(ParseError::new(
+                        lineno,
+                        ParseErrorKind::NonFiniteWeight(w),
+                    ));
+                }
+                edges += 1;
+                if edges > limits.max_edges {
+                    return Err(ParseError::new(
+                        lineno,
+                        ParseErrorKind::TooManyEdges {
+                            m: edges,
+                            cap: limits.max_edges,
+                        },
+                    ));
+                }
                 pending.push((u, v, w, lineno));
             }
             Some(other) => {
-                return Err(GraphError::Parse {
-                    line: lineno,
-                    message: format!("unknown record type '{other}'"),
-                });
+                return Err(ParseError::new(
+                    lineno,
+                    ParseErrorKind::UnknownRecord(other.to_string()),
+                ));
             }
             None => unreachable!("blank lines are skipped"),
         }
     }
-    let mut graph = graph.ok_or(GraphError::Parse {
-        line: 0,
-        message: "missing 'n' line".into(),
-    })?;
-    for (u, v, w, _lineno) in pending {
-        graph.add_edge(u, v, w)?;
+    let mut graph = graph.ok_or(ParseError::new(0, ParseErrorKind::MissingHeader))?;
+    for (u, v, w, lineno) in pending {
+        graph.add_edge(u, v, w).map_err(|e| {
+            let kind = match e {
+                GraphError::SelfLoop(v) => ParseErrorKind::SelfLoop(v),
+                GraphError::DuplicateEdge(u, v) => ParseErrorKind::DuplicateEdge(u, v),
+                GraphError::NodeOutOfRange { node, n } => {
+                    ParseErrorKind::NodeOutOfRange { node, n }
+                }
+                GraphError::InvalidWeight(w) => ParseErrorKind::NonFiniteWeight(w),
+                other => ParseErrorKind::Syntax(other.to_string()),
+            };
+            ParseError::new(lineno, kind)
+        })?;
     }
     Ok(graph)
 }
@@ -108,14 +211,15 @@ fn parse_field<T: std::str::FromStr>(
     tok: Option<&str>,
     line: usize,
     what: &str,
-) -> Result<T, GraphError> {
-    let tok = tok.ok_or_else(|| GraphError::Parse {
-        line,
-        message: format!("missing {what}"),
+) -> Result<T, ParseError> {
+    let tok = tok.ok_or_else(|| {
+        ParseError::new(line, ParseErrorKind::Syntax(format!("missing {what}")))
     })?;
-    tok.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid {what} '{tok}'"),
+    tok.parse().map_err(|_| {
+        ParseError::new(
+            line,
+            ParseErrorKind::Syntax(format!("invalid {what} '{tok}'")),
+        )
     })
 }
 
@@ -172,27 +276,89 @@ mod tests {
     #[test]
     fn parse_errors_carry_line_numbers() {
         let err = graph_from_str("n 2\ne 0\n").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        assert!(matches!(err.kind, ParseErrorKind::Syntax(_)));
+        assert_eq!(err.line, 2);
         let err = graph_from_str("x 1\n").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        assert_eq!(err, ParseError::new(1, ParseErrorKind::UnknownRecord("x".into())));
         let err = graph_from_str("e 0 1\n").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 0, .. }));
+        assert_eq!(err, ParseError::new(0, ParseErrorKind::MissingHeader));
         let err = graph_from_str("n 2\nn 3\n").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        assert_eq!(err, ParseError::new(2, ParseErrorKind::DuplicateHeader));
         let err = graph_from_str("n 2\ne 0 1 abc\n").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        assert!(matches!(err.kind, ParseErrorKind::Syntax(_)));
+        assert_eq!(err.line, 2);
     }
 
     #[test]
-    fn structural_errors_propagate() {
+    fn structural_errors_are_typed_with_line_numbers() {
+        let err = graph_from_str("n 2\ne 0 5\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::new(2, ParseErrorKind::NodeOutOfRange { node: 5, n: 2 })
+        );
+        let err = graph_from_str("n 2\ne 0 0\n").unwrap_err();
+        assert_eq!(err, ParseError::new(2, ParseErrorKind::SelfLoop(0)));
+        let err = graph_from_str("n 3\ne 0 1\n# comment\ne 1 0 2.0\n").unwrap_err();
+        assert_eq!(err, ParseError::new(4, ParseErrorKind::DuplicateEdge(0, 1)));
+        // Legacy conversion keeps the line number.
+        let legacy: GraphError = err.into();
+        assert!(matches!(legacy, GraphError::Parse { line: 4, .. }));
+    }
+
+    #[test]
+    fn non_finite_weights_rejected_at_parse_time() {
+        for tok in ["nan", "NaN", "inf", "-inf", "infinity"] {
+            let text = format!("n 2\ne 0 1 {tok}\n");
+            let err = graph_from_str(&text).unwrap_err();
+            assert!(
+                matches!(err.kind, ParseErrorKind::NonFiniteWeight(_)),
+                "token {tok} gave {err:?}"
+            );
+            assert_eq!(err.line, 2, "token {tok}");
+        }
+    }
+
+    #[test]
+    fn zero_node_header_rejected() {
+        let err = graph_from_str("n 0\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Syntax(_)));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn limits_are_enforced_before_allocation() {
+        let limits = ParseLimits {
+            max_bytes: 64,
+            max_nodes: 10,
+            max_edges: 2,
+        };
+        let big = "#".repeat(100);
         assert!(matches!(
-            graph_from_str("n 2\ne 0 5\n"),
-            Err(GraphError::NodeOutOfRange { .. })
+            graph_from_str_limited(&big, &limits).unwrap_err().kind,
+            ParseErrorKind::InputTooLarge { bytes: 100, cap: 64 }
         ));
+        // A huge declared node count is refused without building the graph.
         assert!(matches!(
-            graph_from_str("n 2\ne 0 0\n"),
-            Err(GraphError::SelfLoop(0))
+            graph_from_str_limited("n 99999999\n", &limits).unwrap_err().kind,
+            ParseErrorKind::TooManyNodes { n: 99999999, cap: 10 }
         ));
+        let err = graph_from_str_limited("n 4\ne 0 1\ne 1 2\ne 2 3\n", &limits).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::new(4, ParseErrorKind::TooManyEdges { m: 3, cap: 2 })
+        );
+        // Within limits parses as usual.
+        let g = graph_from_str_limited("n 3\ne 0 1\ne 1 2\n", &limits).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn serving_limits_are_stricter_than_default() {
+        let d = ParseLimits::default();
+        let s = ParseLimits::serving();
+        assert!(s.max_bytes < d.max_bytes);
+        assert!(s.max_nodes < d.max_nodes);
+        assert!(s.max_edges < d.max_edges);
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub mod io;
 pub mod maxcut;
 pub mod stats;
 
-pub use error::GraphError;
+pub use error::{GraphError, ParseError, ParseErrorKind};
 pub use graph::{Edge, Graph};

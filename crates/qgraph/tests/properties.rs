@@ -111,6 +111,76 @@ properties! {
         prop_assert!((maxcut::brute_force(&g).value - maxcut::brute_force(&h).value).abs() < 1e-9);
     }
 
+    // ---- parser hardening: totality under hostile input ----
+    //
+    // The text parser feeds the serving path, so it must be *total*: any
+    // byte soup either parses or fails with a typed `ParseError` — never a
+    // panic, never an unbounded allocation (strict serving limits are used
+    // so a fuzzed "n 999999999" line cannot allocate).
+
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in vec(0u64..=255, 0usize..200),
+    ) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let text = String::from_utf8_lossy(&raw);
+        let result = std::panic::catch_unwind(|| {
+            io::graph_from_str_limited(&text, &io::ParseLimits::serving()).map(|g| g.n())
+        });
+        prop_assert!(result.is_ok(), "parser panicked on {:?}", text);
+    }
+
+    fn parser_never_panics_on_arbitrary_lines(
+        tokens in vec(0u64..=400, 0usize..40),
+        seed in any_u64(),
+    ) {
+        // Structured fuzz: plausible-looking records with corrupted fields
+        // exercise the deep paths raw byte soup rarely reaches.
+        let mut rng = StdRng::seed_from_u64(seed);
+        use qrand::Rng as _;
+        let mut text = String::new();
+        for &t in &tokens {
+            let line = match t % 8 {
+                0 => format!("n {}", t),
+                1 => format!("e {} {}", rng.gen_range(0..20), rng.gen_range(0..20)),
+                2 => format!("e {} {} {}", t, t, f64::NAN),
+                3 => format!("e {} {} {:e}", t, t.wrapping_add(1), t as f64 * 1e300),
+                4 => "e".to_string(),
+                5 => format!("# comment {t}"),
+                6 => format!("{} {} {}", t, t, t),
+                _ => format!("n {}", u64::MAX),
+            };
+            text.push_str(&line);
+            text.push('\n');
+        }
+        let result = std::panic::catch_unwind(|| {
+            io::graph_from_str_limited(&text, &io::ParseLimits::serving()).map(|g| g.n())
+        });
+        prop_assert!(result.is_ok(), "parser panicked on {:?}", text);
+    }
+
+    fn parser_survives_single_byte_mutations_of_valid_files(
+        n in 2usize..10,
+        p in 0.0f64..=1.0,
+        seed in any_u64(),
+        pos_raw in any_u64(),
+        byte in 0u64..=255,
+    ) {
+        // Mirror of the artifact bit-flip fuzzing (PR 4): take a valid
+        // file, smash one byte, and require a typed outcome — either a
+        // clean parse (the mutation hit a comment/whitespace or produced
+        // an equally valid file) or a `ParseError`. Never a panic.
+        let g = build_graph(n, p, seed);
+        let mut raw = io::graph_to_string(&g).into_bytes();
+        prop_assume!(!raw.is_empty());
+        let pos = (pos_raw as usize) % raw.len();
+        raw[pos] = byte as u8;
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let result = std::panic::catch_unwind(move || {
+            io::graph_from_str_limited(&text, &io::ParseLimits::serving()).map(|g| g.n())
+        });
+        prop_assert!(result.is_ok(), "parser panicked after mutating byte {pos}");
+    }
+
     fn mean_std_bounds(values in vec(-100.0f64..100.0, 1usize..50)) {
         let (mean, std) = stats::mean_std(&values);
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);

@@ -1,29 +1,33 @@
-//! Inference from a saved run artifact: train once, predict forever.
+//! Guarded inference from a saved run artifact: train once, serve forever.
 //!
 //! ```text
 //! # First run: trains a quick model and saves the artifact.
 //! cargo run --release --example predict_from_artifact
-//! # Later runs: load the artifact and predict without retraining.
+//! # Later runs: load the artifact and serve without retraining.
 //! cargo run --release --example predict_from_artifact
 //! # Point at an artifact saved by the experiment binaries:
 //! QAOA_GNN_ARTIFACT=runs/fig5.gcn.json cargo run --release --example predict_from_artifact
+//! # Watch the degradation ladder catch an injected model failure:
+//! QAOA_GNN_FAULTS=forward=nan:1 cargo run --release --example predict_from_artifact
 //! ```
 //!
-//! Demonstrates the deployment story behind [`qaoa_gnn::RunArtifact`]: the
-//! file bundles weights (bit-exact), configuration, training history and
-//! the dataset fingerprint, so warm-starting QAOA on a new graph is one
-//! `load` + one `predict` — no labeling, no training, and the predictions
-//! are the same bits the training process produced.
+//! Demonstrates the deployment story behind [`qaoa_gnn::GuardedPredictor`]:
+//! the artifact bundles weights (bit-exact), configuration, history and the
+//! training envelope, and the serving layer wraps every request in strict
+//! validation, envelope checks and a degradation ladder. Each row below
+//! prints the full [`qaoa_gnn::PredictionOutcome`] — which rung answered
+//! and why any rung was skipped — so a degraded prediction is always
+//! visibly degraded, never a silent fallback.
 
 use qrand::rngs::StdRng;
 use qrand::SeedableRng;
 
 use gnn::train::TrainConfig;
 use gnn::GnnKind;
-use qaoa::{MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa::{MaxCutHamiltonian, QaoaCircuit};
 use qaoa_gnn::dataset::LabelConfig;
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
-use qaoa_gnn::RunArtifact;
+use qaoa_gnn::{GuardedPredictor, RequestError, ServeConfig};
 use qgraph::generate::DatasetSpec;
 use qgraph::Graph;
 
@@ -50,7 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("saved artifact to {}", path.display());
     }
 
-    let artifact = RunArtifact::load(&path)?;
+    let served = GuardedPredictor::load(&path, ServeConfig::default())?;
+    let artifact = served.artifact();
     println!(
         "loaded {} artifact: {} parameters, {} training epochs, dataset fingerprint {:#018x}",
         artifact.kind(),
@@ -58,29 +63,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         artifact.history.epochs.len(),
         artifact.dataset_fingerprint,
     );
-    let model = artifact.build_model()?;
+    match served.envelope() {
+        Some(env) => println!(
+            "training envelope: {}–{} nodes, max degree {}, mean label (γ̄={:.3}, β̄={:.3})",
+            env.min_nodes, env.max_nodes, env.max_degree, env.mean_gamma, env.mean_beta
+        ),
+        None => println!("training envelope: none (pre-envelope artifact; serving says so)"),
+    }
 
-    println!("\n{:<22} {:>8} {:>8} {:>12} {:>8}", "graph", "gamma", "beta", "E[cut]", "ratio");
     let mut rng = StdRng::seed_from_u64(1);
     let mut instances = vec![
         ("cycle(10)".to_string(), Graph::cycle(10)?),
         ("complete(7)".to_string(), Graph::complete(7)?),
         ("star(9)".to_string(), Graph::star(9)?),
+        // Out-of-envelope on the quick config: watch the ladder degrade.
+        ("cycle(30)".to_string(), Graph::cycle(30)?),
     ];
     for i in 0..3 {
         let g = qgraph::generate::erdos_renyi(8 + i, 0.5, &mut rng)?;
         instances.push((format!("erdos_renyi(n={})", g.n()), g));
     }
-    for (name, g) in &instances {
-        let (gamma, beta) = model.predict(g);
-        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(g));
-        let expectation = circuit.expectation(&Params::new(vec![gamma], vec![beta]));
-        let optimal = circuit.hamiltonian().optimal_value();
-        println!(
-            "{name:<22} {gamma:>8.4} {beta:>8.4} {expectation:>12.4} {:>8.3}",
-            expectation / optimal
-        );
+
+    println!("\n{:<22} {:>12} {:>8}  outcome", "graph", "E[cut]", "ratio");
+    let graphs: Vec<Graph> = instances.iter().map(|(_, g)| g.clone()).collect();
+    for ((name, g), result) in instances.iter().zip(served.serve_batch(&graphs)) {
+        match result {
+            Ok(outcome) if g.n() <= 16 => {
+                let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(g));
+                let expectation = circuit.expectation(&outcome.params);
+                let optimal = circuit.hamiltonian().optimal_value();
+                println!(
+                    "{name:<22} {expectation:>12.4} {:>8.3}  {}",
+                    expectation / optimal,
+                    outcome.summary()
+                );
+            }
+            // Too large to simulate here; the outcome still tells the story.
+            Ok(outcome) => println!("{name:<22} {:>12} {:>8}  {}", "-", "-", outcome.summary()),
+            Err(e) => println!("{name:<22} {:>12} {:>8}  rejected: {e}", "-", "-"),
+        }
     }
-    println!("\n(predictions are bit-identical across processes — see tests/artifact_roundtrip.rs)");
+
+    // Hostile requests never reach the model: typed, line-numbered errors.
+    match served.predict_text("n 3\ne 0 1 inf\n") {
+        Err(RequestError::Parse(e)) => println!("\nhostile text rejected: {e}"),
+        other => println!("\nunexpected: {other:?}"),
+    }
+    println!("(clean gnn outcomes are bit-identical across processes — see tests/serve_degradation.rs)");
     Ok(())
 }

@@ -17,7 +17,7 @@ cargo test -q --offline | tee "$test_log"
 echo "==> test-count floor"
 # The suite must never silently shrink: the floor is the passing-test
 # count at the time of the last change to it. Raise it when adding tests.
-TEST_FLOOR=530
+TEST_FLOOR=567
 total=$(grep -oE '[0-9]+ passed' "$test_log" | awk '{s+=$1} END {print s+0}')
 rm -f "$test_log"
 if [ "$total" -lt "$TEST_FLOOR" ]; then
@@ -58,5 +58,9 @@ echo "OK: checkpoint/resume round trip is bit-identical"
 echo "==> artifact smoke (train tiny, save, reload in a fresh process, diff bits)"
 cargo run --release --offline -q -p qaoa-gnn-bench --bin artifact_smoke
 echo "OK: saved artifacts reproduce in-memory predictions bit-exactly"
+
+echo "==> serving smoke (env-armed fault, degradation ladder, bit-identity)"
+cargo run --release --offline -q -p qaoa-gnn-bench --bin serve_smoke
+echo "OK: guarded serving degrades visibly and matches the raw path bit-exactly"
 
 echo "All checks passed."

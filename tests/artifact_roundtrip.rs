@@ -78,6 +78,7 @@ fn untrained_artifact(kind: GnnKind, seed: u64) -> RunArtifact {
         history: TrainHistory::default(),
         label_report: LabelReport::clean(3),
         dataset_fingerprint: 0x9e37_79b9_7f4a_7c15 ^ seed,
+        envelope: None,
     }
 }
 
