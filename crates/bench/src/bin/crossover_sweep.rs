@@ -1,0 +1,128 @@
+//! Measures the serial→pooled crossover of the state-vector kernels: one
+//! QAOA expectation per (register size, worker count) cell, n = 8..=15 ×
+//! threads = 1..=8, pool forced on so the threaded algorithm is measured
+//! below the production crossover too.
+//!
+//! Prints the per-cell median time and the speedup over the serial path,
+//! reports the measured crossover (smallest n whose best pooled time beats
+//! serial), and writes `target/experiments/crossover_sweep.csv`.
+//!
+//! On a single-core container every pooled cell pays scheduling overhead
+//! and the "crossover" degenerates to ∞ — the CSV records the host's
+//! `available_parallelism` so a reader can tell those runs apart.
+
+use std::time::Instant;
+
+use qaoa::{Evaluator, MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa_gnn_bench::{print_table, write_csv};
+use qgraph::Graph;
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
+use qsim::exec::Executor;
+
+const THREADS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+const DEPTH: usize = 3;
+
+/// One deterministic paper-shaped graph per register size (mirrors the
+/// golden parallel-parity suite's generator).
+fn graph_for_size(n: usize, rng: &mut StdRng) -> Graph {
+    if n % 2 == 0 {
+        qgraph::generate::random_regular(n, 3, rng).unwrap()
+    } else {
+        qgraph::generate::erdos_renyi(n, 0.5, rng).unwrap()
+    }
+}
+
+/// Median wall-time in nanoseconds of `evaluator.expectation_in_place`
+/// over enough repetitions to be stable at small n.
+fn median_eval_ns(evaluator: &mut Evaluator, params: &Params) -> u64 {
+    // Warm up (first pooled call may fault pages / park-unpark workers).
+    let mut sink = evaluator.expectation_in_place(params);
+    let reps = 31;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        sink += evaluator.expectation_in_place(params);
+        samples.push(start.elapsed().as_nanos() as u64);
+    }
+    assert!(sink.is_finite());
+    samples.sort_unstable();
+    samples[reps / 2]
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("crossover sweep: n = 8..=15, threads = 1..=8, p = {DEPTH}");
+    println!("host available_parallelism = {cores}");
+
+    let params = Params::new(vec![0.5; DEPTH], vec![0.2; DEPTH]);
+    let mut rng = StdRng::seed_from_u64(0xc0_55);
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut crossover: Option<usize> = None;
+
+    for n in 8..=15usize {
+        let graph = graph_for_size(n, &mut rng);
+        let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(&graph));
+
+        let mut serial_eval = Evaluator::new(&circuit);
+        let serial_ns = median_eval_ns(&mut serial_eval, &params);
+
+        let mut row = vec![n.to_string(), format!("{serial_ns}")];
+        let mut best_pooled = u64::MAX;
+        for threads in THREADS {
+            // Crossover forced to 2 qubits: measure the pooled algorithm
+            // at every n, including below the production default.
+            let exec = Executor::threaded_with_crossover(threads, 2);
+            let mut evaluator = Evaluator::with_executor(&circuit, exec);
+            let ns = median_eval_ns(&mut evaluator, &params);
+            best_pooled = best_pooled.min(ns);
+            row.push(format!("{:.2}", serial_ns as f64 / ns as f64));
+            csv_rows.push(vec![
+                n.to_string(),
+                threads.to_string(),
+                serial_ns.to_string(),
+                ns.to_string(),
+                format!("{:.4}", serial_ns as f64 / ns as f64),
+            ]);
+        }
+        if crossover.is_none() && best_pooled < serial_ns {
+            crossover = Some(n);
+        }
+        rows.push(row);
+    }
+
+    let header: Vec<String> = std::iter::once("n".to_string())
+        .chain(std::iter::once("serial ns".to_string()))
+        .chain(THREADS.iter().map(|t| format!("x{t}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        "pooled speedup over serial (median, forced pool)",
+        &header_refs,
+        &rows,
+    );
+
+    match crossover {
+        Some(n) => println!(
+            "\nmeasured crossover: n = {n} (first size where some pooled \
+             width beats serial)"
+        ),
+        None => println!(
+            "\nmeasured crossover: none in 8..=15 — pooled never beat serial \
+             (expected on a {cores}-core host; the production default stays \
+             at n = {})",
+            qsim::exec::DEFAULT_CROSSOVER_QUBITS
+        ),
+    }
+
+    let path = write_csv(
+        &format!("crossover_sweep_{cores}core.csv"),
+        &["n", "threads", "serial_ns", "pooled_ns", "speedup"],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("csv: {}", path.display());
+}

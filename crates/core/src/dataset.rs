@@ -197,6 +197,12 @@ pub struct LabelConfig {
     pub iterations: usize,
     /// Worker threads for parallel labeling.
     pub threads: usize,
+    /// Pooled amplitude-sweep workers *per evaluation* for registers at or
+    /// above the simulator crossover; `0` (the default) keeps every
+    /// evaluation on the historical bit-identical serial path. Compounds
+    /// with `threads`: graph-level parallelism across the dataset,
+    /// sweep-level parallelism within each large instance.
+    pub sim_threads: usize,
 }
 
 impl Default for LabelConfig {
@@ -207,6 +213,7 @@ impl Default for LabelConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            sim_threads: 0,
         }
     }
 }
@@ -237,6 +244,13 @@ impl LabelConfig {
         self.threads = threads;
         self
     }
+
+    /// Builder-style: sets the pooled sweep-worker count per evaluation
+    /// (`0` = serial simulation, the default).
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
+        self
+    }
 }
 
 /// Labels one graph: random init, `iterations` of Nelder–Mead, AR against
@@ -250,7 +264,10 @@ pub fn label_graph<R: Rng + ?Sized>(
     // One evaluator carries the whole label: the optimization trace, the
     // canonicalization probes, and the final expectation all run in the
     // same scratch state vector — zero state-vector allocations past here.
-    let mut evaluator = Evaluator::new(&circuit);
+    // With sim_threads > 0 and a register at or above the simulator
+    // crossover, its sweeps run on a worker pool owned by this evaluator,
+    // so per-graph labeling threads never share simulation state.
+    let mut evaluator = Evaluator::with_sim_threads(&circuit, config.sim_threads);
     let optimizer = NelderMead::new(config.iterations);
     let outcome = warm_start::run_with(
         &mut evaluator,

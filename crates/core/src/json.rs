@@ -502,6 +502,7 @@ impl ToJson for LabelConfig {
             ("depth", Json::uint(self.depth as u64)),
             ("iterations", Json::uint(self.iterations as u64)),
             ("threads", Json::uint(self.threads as u64)),
+            ("sim_threads", Json::uint(self.sim_threads as u64)),
         ])
     }
 }
@@ -512,6 +513,12 @@ impl FromJson for LabelConfig {
             depth: json.get("depth")?.as_usize()?,
             iterations: json.get("iterations")?.as_usize()?,
             threads: json.get("threads")?.as_usize()?,
+            // Absent in artifacts written before the pooled simulator
+            // existed; those runs were serial, which 0 encodes.
+            sim_threads: match json.get("sim_threads") {
+                Ok(v) => v.as_usize()?,
+                Err(_) => 0,
+            },
         })
     }
 }

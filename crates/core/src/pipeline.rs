@@ -93,6 +93,9 @@ impl PipelineConfig {
     /// the same construction path callers use in code:
     ///
     /// * `QAOA_GNN_THREADS` — labeling worker threads.
+    /// * `QAOA_GNN_SIM_THREADS` — pooled amplitude-sweep workers per
+    ///   evaluation for registers at or above the simulator crossover
+    ///   (`0` = serial simulation, the default).
     /// * `QAOA_GNN_ITERATIONS` — optimizer iterations per labeled graph.
     /// * `QAOA_GNN_SEED` — master seed.
     /// * `QAOA_GNN_CHECKPOINT_DIR` — labeling checkpoint directory; an
@@ -112,6 +115,9 @@ impl PipelineConfig {
         };
         if let Some(threads) = parse("QAOA_GNN_THREADS") {
             config = config.with_threads(threads as usize);
+        }
+        if let Some(sim_threads) = parse("QAOA_GNN_SIM_THREADS") {
+            config = config.with_sim_threads(sim_threads as usize);
         }
         if let Some(iterations) = parse("QAOA_GNN_ITERATIONS") {
             config = config.with_iterations(iterations as usize);
@@ -135,6 +141,15 @@ impl PipelineConfig {
     /// Builder-style: sets the labeling worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.labeling = self.labeling.with_threads(threads);
+        self
+    }
+
+    /// Builder-style: sets the pooled sweep-worker count per evaluation
+    /// (`0` = serial simulation, the default). Compounds with
+    /// [`Self::with_threads`]: graph-level parallelism across the
+    /// dataset, sweep-level parallelism within each large instance.
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.labeling = self.labeling.with_sim_threads(sim_threads);
         self
     }
 
@@ -480,6 +495,7 @@ mod tests {
     fn builder_chain_overrides_fields() {
         let config = PipelineConfig::quick()
             .with_threads(8)
+            .with_sim_threads(2)
             .with_iterations(200)
             .with_seed(7)
             .with_test_size(12)
@@ -488,6 +504,7 @@ mod tests {
             .with_fixed_angles(false)
             .with_training(TrainConfig::quick(5));
         assert_eq!(config.labeling.threads, 8);
+        assert_eq!(config.labeling.sim_threads, 2);
         assert_eq!(config.labeling.iterations, 200);
         assert_eq!(config.seed, 7);
         assert_eq!(config.test_size, 12);

@@ -45,7 +45,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use gnn::GnnModel;
-use qaoa::{fixed_angle, MaxCutHamiltonian, Params, QaoaCircuit};
+use qaoa::{fixed_angle, Evaluator, MaxCutHamiltonian, Params, QaoaCircuit};
 use qgraph::io::ParseLimits;
 use qgraph::{Graph, ParseError};
 
@@ -65,6 +65,10 @@ pub struct ServeConfig {
     /// simulator when the request has at most this many nodes (`0`
     /// disables verification). A non-finite score degrades the rung.
     pub verify_max_nodes: usize,
+    /// Pooled amplitude-sweep workers per verification for registers at
+    /// or above the simulator crossover; `0` (the default) keeps
+    /// `verified_score` on the historical bit-identical serial path.
+    pub sim_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +77,7 @@ impl Default for ServeConfig {
             limits: ParseLimits::serving(),
             strict_envelope: false,
             verify_max_nodes: 16,
+            sim_threads: 0,
         }
     }
 }
@@ -506,7 +511,12 @@ impl GuardedPredictor {
                 Some(FaultAction::Nan) => f64::NAN,
                 Some(_) => f64::NAN,
                 None => {
-                    QaoaCircuit::new(MaxCutHamiltonian::new(graph)).expectation(params)
+                    let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(graph));
+                    // sim_threads = 0 resolves to the serial executor, so
+                    // this is bit-identical to the one-shot
+                    // `QaoaCircuit::expectation` it replaces.
+                    Evaluator::with_sim_threads(&circuit, self.config.sim_threads)
+                        .expectation_in_place(params)
                 }
             }
         }))

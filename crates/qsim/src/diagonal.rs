@@ -7,6 +7,7 @@
 //! once per problem instance and amortizes it across all optimizer
 //! iterations — the same trick fast QAOA simulators use.
 
+use crate::exec::Executor;
 use crate::{Complex, StateVector};
 
 /// A real diagonal operator on `n` qubits, stored as one value per basis
@@ -104,8 +105,11 @@ impl DiagonalOperator {
             self.num_qubits,
             "operator and state qubit counts must match"
         );
-        for (a, &v) in psi.amplitudes_mut().iter_mut().zip(&self.values) {
-            *a *= Complex::cis(-theta * v);
+        let (re, im) = psi.re_im_mut();
+        for i in 0..re.len() {
+            let a = Complex::new(re[i], im[i]) * Complex::cis(-theta * self.values[i]);
+            re[i] = a.re;
+            im[i] = a.im;
         }
     }
 
@@ -126,6 +130,29 @@ impl DiagonalOperator {
         crate::fused::phase_rx_all(psi, &self.values, theta, rx_theta);
     }
 
+    /// [`Self::apply_phase_rx_all`] on an execution policy: above the
+    /// policy's crossover each sweep is chunked onto the worker pool (see
+    /// [`crate::fused::phase_rx_all_exec`]); below it, or on
+    /// [`Executor::serial`], this is the bit-identical serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn apply_phase_rx_all_exec(
+        &self,
+        psi: &mut StateVector,
+        theta: f64,
+        rx_theta: f64,
+        exec: &Executor,
+    ) {
+        assert_eq!(
+            psi.num_qubits(),
+            self.num_qubits,
+            "operator and state qubit counts must match"
+        );
+        crate::fused::phase_rx_all_exec(psi, &self.values, theta, rx_theta, exec);
+    }
+
     /// Expectation `⟨ψ|D|ψ⟩`.
     ///
     /// # Panics
@@ -140,6 +167,22 @@ impl DiagonalOperator {
         psi.expectation_diagonal(&self.values)
     }
 
+    /// [`Self::expectation`] on an execution policy (see
+    /// [`StateVector::expectation_diagonal_exec`] for the determinism
+    /// contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn expectation_exec(&self, psi: &StateVector, exec: &Executor) -> f64 {
+        assert_eq!(
+            psi.num_qubits(),
+            self.num_qubits,
+            "operator and state qubit counts must match"
+        );
+        psi.expectation_diagonal_exec(&self.values, exec)
+    }
+
     /// Variance `⟨D²⟩ - ⟨D⟩²`.
     ///
     /// # Panics
@@ -148,10 +191,11 @@ impl DiagonalOperator {
     pub fn variance(&self, psi: &StateVector) -> f64 {
         let mean = self.expectation(psi);
         let sq: f64 = psi
-            .amplitudes()
+            .re()
             .iter()
+            .zip(psi.im())
             .zip(&self.values)
-            .map(|(a, &v)| a.norm_sqr() * v * v)
+            .map(|((&re, &im), &v)| (re * re + im * im) * v * v)
             .sum();
         (sq - mean * mean).max(0.0)
     }

@@ -1,0 +1,182 @@
+//! Execution policy for state-vector kernels: serial or pooled.
+//!
+//! An [`Executor`] bundles the two knobs the multi-threaded path needs —
+//! a worker pool and the qubit-count crossover below which threading is
+//! pure overhead — behind one value that callers thread through
+//! [`crate::fused`] and [`crate::StateVector::expectation_diagonal_exec`].
+//!
+//! # Determinism contract
+//!
+//! - [`Executor::serial`] (and any state below the crossover) runs the
+//!   exact pre-existing serial kernels: bit-identical to every release
+//!   since the fused kernels landed, as pinned by the golden suites.
+//! - A threaded executor partitions sweeps into contiguous chunks whose
+//!   per-element arithmetic is the serial kernel's, and reduces
+//!   expectations over fixed-size chunks folded in index order. Both are
+//!   independent of the pool width, so **1, 2, 4, and 8 threads produce
+//!   bit-identical results**; only parallel-vs-serial differs (reduction
+//!   grouping), and that gap is pinned to ≤1e-12.
+
+use std::fmt;
+
+use qpool::ThreadPool;
+
+/// Default qubit-count crossover: below this, sweeps stay serial even on
+/// a threaded executor. Measured with the `crossover_sweep` bench bin
+/// (see EXPERIMENTS.md); at 2^12 amplitudes a sweep is a few microseconds
+/// and job dispatch stops paying for itself.
+pub const DEFAULT_CROSSOVER_QUBITS: usize = 12;
+
+/// Execution policy: serial, or a worker pool plus a crossover.
+pub struct Executor {
+    pool: Option<ThreadPool>,
+    threads: usize,
+    min_qubits: usize,
+}
+
+impl Executor {
+    /// Fixed element count per parallel-reduction chunk. A constant (not
+    /// a function of the pool width) so reductions are bit-identical for
+    /// any thread count.
+    pub(crate) const REDUCE_CHUNK: usize = 4096;
+
+    /// The strictly serial policy — the historical single-threaded path.
+    pub fn serial() -> Self {
+        Executor {
+            pool: None,
+            threads: 0,
+            min_qubits: DEFAULT_CROSSOVER_QUBITS,
+        }
+    }
+
+    /// A pooled policy with `threads` total workers (the submitting
+    /// thread participates, so `threads` is the genuine parallel width)
+    /// and the default crossover. `threads` is clamped to at least 1;
+    /// `threaded(1)` spawns no OS threads but still exercises the
+    /// parallel chunking/reduction algorithm — useful for pinning
+    /// thread-count invariance.
+    pub fn threaded(threads: usize) -> Self {
+        Self::threaded_with_crossover(threads, DEFAULT_CROSSOVER_QUBITS)
+    }
+
+    /// A pooled policy with an explicit qubit-count crossover. Tests use
+    /// `min_qubits: 1` to force the parallel algorithm on small states.
+    pub fn threaded_with_crossover(threads: usize, min_qubits: usize) -> Self {
+        let threads = threads.max(1);
+        Executor {
+            pool: Some(ThreadPool::new(threads)),
+            threads,
+            min_qubits,
+        }
+    }
+
+    /// Parallel width: 0 for the serial policy, otherwise the pool size.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Qubit-count crossover below which even a pooled executor runs the
+    /// serial kernels.
+    pub fn min_qubits(&self) -> usize {
+        self.min_qubits
+    }
+
+    /// Whether this is the strictly serial policy.
+    pub fn is_serial(&self) -> bool {
+        self.pool.is_none()
+    }
+
+    /// The pool to use for a state of `num_qubits`, or `None` when the
+    /// serial path applies (serial policy, or below the crossover).
+    pub(crate) fn pool_for(&self, num_qubits: usize) -> Option<&ThreadPool> {
+        match &self.pool {
+            Some(pool) if num_qubits >= self.min_qubits => Some(pool),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Executor {
+    /// Defaults to [`Executor::serial`]: opting *in* to threading is
+    /// explicit everywhere.
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl Clone for Executor {
+    /// Clones the *policy*, not the pool: a threaded executor clones to a
+    /// fresh pool of the same width (worker threads are not shareable).
+    fn clone(&self) -> Self {
+        if self.pool.is_some() {
+            Self::threaded_with_crossover(self.threads, self.min_qubits)
+        } else {
+            Executor {
+                pool: None,
+                threads: 0,
+                min_qubits: self.min_qubits,
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .field("min_qubits", &self.min_qubits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_policy_never_yields_a_pool() {
+        let exec = Executor::serial();
+        assert!(exec.is_serial());
+        assert_eq!(exec.threads(), 0);
+        assert!(exec.pool_for(24).is_none());
+    }
+
+    #[test]
+    fn threaded_policy_respects_crossover() {
+        let exec = Executor::threaded(2);
+        assert!(!exec.is_serial());
+        assert_eq!(exec.threads(), 2);
+        assert!(exec.pool_for(DEFAULT_CROSSOVER_QUBITS - 1).is_none());
+        assert!(exec.pool_for(DEFAULT_CROSSOVER_QUBITS).is_some());
+    }
+
+    #[test]
+    fn explicit_crossover_overrides_default() {
+        let exec = Executor::threaded_with_crossover(1, 3);
+        assert!(exec.pool_for(2).is_none());
+        assert!(exec.pool_for(3).is_some());
+        assert_eq!(exec.min_qubits(), 3);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let exec = Executor::threaded_with_crossover(0, 1);
+        assert_eq!(exec.threads(), 1);
+        assert!(exec.pool_for(1).is_some());
+    }
+
+    #[test]
+    fn clone_preserves_policy() {
+        let serial = Executor::serial().clone();
+        assert!(serial.is_serial());
+        let threaded = Executor::threaded_with_crossover(3, 5).clone();
+        assert_eq!(threaded.threads(), 3);
+        assert_eq!(threaded.min_qubits(), 5);
+        assert!(threaded.pool_for(5).is_some());
+    }
+
+    #[test]
+    fn default_is_serial() {
+        assert!(Executor::default().is_serial());
+    }
+}

@@ -14,10 +14,30 @@
 //!   is phased as it is first loaded, eliminating one full memory pass
 //!   (and one pass of `cis` multiplications) per layer.
 //!
+//! The sweeps run directly on the state's split re/im `f64` arrays
+//! (see [`StateVector`]); the butterfly body is straight-line scalar
+//! arithmetic over same-index lanes, which the compiler auto-vectorizes.
+//!
+//! # Parallel execution
+//!
+//! The `_exec` variants ([`rx_all_exec`], [`phase_rx_all_exec`]) accept an
+//! [`Executor`]; above its crossover, each sweep is split into contiguous
+//! chunks aligned to the sweep's butterfly-block size and run on the
+//! worker pool. Chunk boundaries never change per-element arithmetic, so
+//! pooled sweeps are bit-identical to serial ones for **any** thread
+//! count; a pair sweep on qubits `(a, a+1)` decomposes into independent
+//! `2^{a+2}`-amplitude blocks, so the top one or two sweeps of a register
+//! may run with reduced parallelism (at most 2 of `⌈n/2⌉` sweeps — a
+//! bounded Amdahl tail; see DESIGN.md, "Simulator execution model").
+//!
 //! Both kernels are exact — the golden equivalence suite in
-//! `tests/fused.rs` pins them against the gate-by-gate path to 1e-12 —
-//! and allocation-free: they mutate the state in place.
+//! `tests/fused.rs` pins them against the gate-by-gate path to 1e-12, and
+//! `tests/golden_parallel.rs` pins pooled-vs-serial — and allocation-free
+//! on the serial path: they mutate the state in place.
 
+use qpool::ThreadPool;
+
+use crate::exec::Executor;
 use crate::{Complex, StateVector};
 
 /// Precomputed constants for the two-qubit `RX(θ)⊗RX(θ)` butterfly.
@@ -49,29 +69,63 @@ impl RxPair {
         }
     }
 
-    /// One 4-amplitude butterfly.
+    /// One 4-amplitude butterfly on split components, returned as
+    /// `[y00re, y00im, y01re, y01im, y10re, y10im, y11re, y11im]`.
+    ///
+    /// The re and im lanes are independent scalar expressions in the
+    /// exact operation order of the historical `Complex` formulation, so
+    /// results are bit-identical to it (the golden suites rely on this).
     #[inline(always)]
-    fn butterfly(self, x00: Complex, x01: Complex, x10: Complex, x11: Complex) -> [Complex; 4] {
-        let p = x01 + x10;
-        let q = x00 + x11;
+    #[allow(clippy::too_many_arguments)]
+    fn butterfly(
+        self,
+        x00re: f64,
+        x00im: f64,
+        x01re: f64,
+        x01im: f64,
+        x10re: f64,
+        x10im: f64,
+        x11re: f64,
+        x11im: f64,
+    ) -> [f64; 8] {
+        let p_re = x01re + x10re;
+        let p_im = x01im + x10im;
+        let q_re = x00re + x11re;
+        let q_im = x00im + x11im;
         // Multiplication by −i·cs: −i·(re + i·im) = im − i·re.
-        let rot_p = Complex::new(self.cs * p.im, -self.cs * p.re);
-        let rot_q = Complex::new(self.cs * q.im, -self.cs * q.re);
+        let rot_p_re = self.cs * p_im;
+        let rot_p_im = -self.cs * p_re;
+        let rot_q_re = self.cs * q_im;
+        let rot_q_im = -self.cs * q_re;
         [
-            x00.scale(self.cc) - x11.scale(self.ss) + rot_p,
-            x01.scale(self.cc) - x10.scale(self.ss) + rot_q,
-            x10.scale(self.cc) - x01.scale(self.ss) + rot_q,
-            x11.scale(self.cc) - x00.scale(self.ss) + rot_p,
+            x00re * self.cc - x11re * self.ss + rot_p_re,
+            x00im * self.cc - x11im * self.ss + rot_p_im,
+            x01re * self.cc - x10re * self.ss + rot_q_re,
+            x01im * self.cc - x10im * self.ss + rot_q_im,
+            x10re * self.cc - x01re * self.ss + rot_q_re,
+            x10im * self.cc - x01im * self.ss + rot_q_im,
+            x11re * self.cc - x00re * self.ss + rot_p_re,
+            x11im * self.cc - x00im * self.ss + rot_p_im,
         ]
     }
 }
 
+/// Multiplies the amplitude `(re, im)` by `e^{it}` — the split-component
+/// form of `Complex * Complex::cis(t)`, in its operation order.
+#[inline(always)]
+fn phased(re: f64, im: f64, t: f64) -> (f64, f64) {
+    let ph_re = t.cos();
+    let ph_im = t.sin();
+    (re * ph_re - im * ph_im, re * ph_im + im * ph_re)
+}
+
 /// Applies the `RX(θ)⊗RX(θ)` butterfly to qubit pair `(a, b)`, `a < b`,
-/// in one sweep.
-fn rx_pair_sweep(amps: &mut [Complex], a: usize, b: usize, k: RxPair) {
+/// in one sweep. Works on any block-aligned sub-slice of the state (the
+/// chunked parallel path passes chunks; serial passes the full arrays).
+fn rx_pair_sweep(re: &mut [f64], im: &mut [f64], a: usize, b: usize, k: RxPair) {
     let sa = 1usize << a;
     let sb = 1usize << b;
-    let dim = amps.len();
+    let dim = re.len();
     let mut hi = 0;
     while hi < dim {
         let mut mid = hi;
@@ -80,11 +134,17 @@ fn rx_pair_sweep(amps: &mut [Complex], a: usize, b: usize, k: RxPair) {
                 let i01 = i00 + sa;
                 let i10 = i00 + sb;
                 let i11 = i10 + sa;
-                let y = k.butterfly(amps[i00], amps[i01], amps[i10], amps[i11]);
-                amps[i00] = y[0];
-                amps[i01] = y[1];
-                amps[i10] = y[2];
-                amps[i11] = y[3];
+                let y = k.butterfly(
+                    re[i00], im[i00], re[i01], im[i01], re[i10], im[i10], re[i11], im[i11],
+                );
+                re[i00] = y[0];
+                im[i00] = y[1];
+                re[i01] = y[2];
+                im[i01] = y[3];
+                re[i10] = y[4];
+                im[i10] = y[5];
+                re[i11] = y[6];
+                im[i11] = y[7];
             }
             mid += 2 * sa;
         }
@@ -94,29 +154,39 @@ fn rx_pair_sweep(amps: &mut [Complex], a: usize, b: usize, k: RxPair) {
 
 /// Like [`rx_pair_sweep`] on pair `(0, 1)`, but multiplies each amplitude
 /// by `e^{-iγ·values[i]}` as it is loaded — the fused phase + first mixer
-/// sweep. Indices `i00..i11` are the four consecutive amplitudes of the
+/// sweep. Indices `i..i+3` are the four consecutive amplitudes of the
 /// quadruple, so the diagonal table is read in order.
-fn phase_rx_pair01_sweep(amps: &mut [Complex], values: &[f64], gamma: f64, k: RxPair) {
-    debug_assert_eq!(amps.len(), values.len());
+fn phase_rx_pair01_sweep(re: &mut [f64], im: &mut [f64], values: &[f64], gamma: f64, k: RxPair) {
+    debug_assert_eq!(re.len(), values.len());
+    let neg_gamma = -gamma;
     let mut i = 0;
-    while i < amps.len() {
-        let x00 = amps[i] * Complex::cis(-gamma * values[i]);
-        let x01 = amps[i + 1] * Complex::cis(-gamma * values[i + 1]);
-        let x10 = amps[i + 2] * Complex::cis(-gamma * values[i + 2]);
-        let x11 = amps[i + 3] * Complex::cis(-gamma * values[i + 3]);
-        let y = k.butterfly(x00, x01, x10, x11);
-        amps[i] = y[0];
-        amps[i + 1] = y[1];
-        amps[i + 2] = y[2];
-        amps[i + 3] = y[3];
+    while i < re.len() {
+        let (x00re, x00im) = phased(re[i], im[i], neg_gamma * values[i]);
+        let (x01re, x01im) = phased(re[i + 1], im[i + 1], neg_gamma * values[i + 1]);
+        let (x10re, x10im) = phased(re[i + 2], im[i + 2], neg_gamma * values[i + 2]);
+        let (x11re, x11im) = phased(re[i + 3], im[i + 3], neg_gamma * values[i + 3]);
+        let y = k.butterfly(x00re, x00im, x01re, x01im, x10re, x10im, x11re, x11im);
+        re[i] = y[0];
+        im[i] = y[1];
+        re[i + 1] = y[2];
+        im[i + 1] = y[3];
+        re[i + 2] = y[4];
+        im[i + 2] = y[5];
+        re[i + 3] = y[6];
+        im[i + 3] = y[7];
         i += 4;
     }
 }
 
 /// Single-qubit `RX(θ)` sweep (for the leftover qubit when `n` is odd),
 /// optionally phasing each amplitude by `e^{-iγ·values[i]}` first.
+///
+/// Loads each amplitude pair into [`Complex`] and applies the historical
+/// formulas verbatim — including the structural-zero matrix entries — so
+/// even signed-zero results stay bit-identical to every prior release.
 fn rx_single_sweep(
-    amps: &mut [Complex],
+    re: &mut [f64],
+    im: &mut [f64],
     qubit: usize,
     theta: f64,
     phase: Option<(&[f64], f64)>,
@@ -124,23 +194,101 @@ fn rx_single_sweep(
     let c = Complex::from((theta / 2.0).cos());
     let s = Complex::new(0.0, -(theta / 2.0).sin());
     let stride = 1usize << qubit;
-    let dim = amps.len();
+    let dim = re.len();
     let mut base = 0;
     while base < dim {
         for offset in 0..stride {
             let i0 = base + offset;
             let i1 = i0 + stride;
-            let (a0, a1) = match phase {
-                Some((values, gamma)) => (
-                    amps[i0] * Complex::cis(-gamma * values[i0]),
-                    amps[i1] * Complex::cis(-gamma * values[i1]),
-                ),
-                None => (amps[i0], amps[i1]),
-            };
-            amps[i0] = c * a0 + s * a1;
-            amps[i1] = s * a0 + c * a1;
+            let mut a0 = Complex::new(re[i0], im[i0]);
+            let mut a1 = Complex::new(re[i1], im[i1]);
+            if let Some((values, gamma)) = phase {
+                a0 = a0 * Complex::cis(-gamma * values[i0]);
+                a1 = a1 * Complex::cis(-gamma * values[i1]);
+            }
+            let y0 = c * a0 + s * a1;
+            let y1 = s * a0 + c * a1;
+            re[i0] = y0.re;
+            im[i0] = y0.im;
+            re[i1] = y1.re;
+            im[i1] = y1.im;
         }
         base += 2 * stride;
+    }
+}
+
+/// One contiguous task of a pooled sweep: disjoint slices of the split
+/// state plus the matching diagonal slice (empty for non-phase sweeps).
+struct SweepChunk<'a> {
+    re: &'a mut [f64],
+    im: &'a mut [f64],
+    values: &'a [f64],
+}
+
+/// Splits the state into per-worker contiguous chunks aligned to `block`
+/// elements and runs `f` on each via the pool. `block` is the size of one
+/// independent butterfly block, so every chunk is self-contained; chunk
+/// boundaries never change per-element arithmetic, which is what makes
+/// pooled sweeps bit-identical for any thread count.
+fn run_chunked(
+    pool: &ThreadPool,
+    re: &mut [f64],
+    im: &mut [f64],
+    values: &[f64],
+    block: usize,
+    f: impl Fn(&mut SweepChunk<'_>) + Sync,
+) {
+    let nblocks = re.len() / block;
+    let tasks = pool.threads().min(nblocks).max(1);
+    let per = nblocks / tasks;
+    let extra = nblocks % tasks;
+    let mut chunks: Vec<SweepChunk<'_>> = Vec::with_capacity(tasks);
+    let (mut re_rest, mut im_rest, mut v_rest) = (re, im, values);
+    for t in 0..tasks {
+        let take = block * (per + usize::from(t < extra));
+        let (re_c, re_t) = std::mem::take(&mut re_rest).split_at_mut(take);
+        let (im_c, im_t) = std::mem::take(&mut im_rest).split_at_mut(take);
+        let (v_c, v_t) = v_rest.split_at(take.min(v_rest.len()));
+        re_rest = re_t;
+        im_rest = im_t;
+        v_rest = v_t;
+        chunks.push(SweepChunk {
+            re: re_c,
+            im: im_c,
+            values: v_c,
+        });
+    }
+    pool.run_mut(&mut chunks, |_, c| f(c));
+}
+
+/// The mixer sweeps on qubits `from_q..n` (consecutive pairs plus a
+/// possible odd leftover), serial or chunked onto `pool`.
+fn rx_tail(
+    re: &mut [f64],
+    im: &mut [f64],
+    n: usize,
+    from_q: usize,
+    theta: f64,
+    k: RxPair,
+    pool: Option<&ThreadPool>,
+) {
+    let mut q = from_q;
+    while q + 1 < n {
+        match pool {
+            Some(pool) => run_chunked(pool, re, im, &[], 4usize << q, |c| {
+                rx_pair_sweep(c.re, c.im, q, q + 1, k)
+            }),
+            None => rx_pair_sweep(re, im, q, q + 1, k),
+        }
+        q += 2;
+    }
+    if q < n {
+        match pool {
+            Some(pool) => run_chunked(pool, re, im, &[], 2usize << q, |c| {
+                rx_single_sweep(c.re, c.im, q, theta, None)
+            }),
+            None => rx_single_sweep(re, im, q, theta, None),
+        }
     }
 }
 
@@ -149,21 +297,20 @@ fn rx_single_sweep(
 /// Exactly equivalent to [`crate::gates::rx_all`]; this is the fused fast
 /// path the QAOA mixer layer uses (`θ = 2β`).
 pub fn rx_all(psi: &mut StateVector, theta: f64) {
+    rx_all_exec(psi, theta, &Executor::serial());
+}
+
+/// [`rx_all`] on an execution policy: pooled sweeps above the executor's
+/// crossover, the bit-identical serial path below it.
+pub fn rx_all_exec(psi: &mut StateVector, theta: f64, exec: &Executor) {
     let n = psi.num_qubits();
-    let amps = psi.amplitudes_mut();
+    let pool = exec.pool_for(n);
+    let (re, im) = psi.re_im_mut();
     if n == 1 {
-        rx_single_sweep(amps, 0, theta, None);
+        rx_single_sweep(re, im, 0, theta, None);
         return;
     }
-    let k = RxPair::new(theta);
-    let mut q = 0;
-    while q + 1 < n {
-        rx_pair_sweep(amps, q, q + 1, k);
-        q += 2;
-    }
-    if q < n {
-        rx_single_sweep(amps, q, theta, None);
-    }
+    rx_tail(re, im, n, 0, theta, RxPair::new(theta), pool);
 }
 
 /// One fused QAOA layer: the diagonal phase `e^{-iγD}` (with `D` given as
@@ -177,27 +324,38 @@ pub fn rx_all(psi: &mut StateVector, theta: f64) {
 ///
 /// Panics if `values.len() != 2^n`.
 pub fn phase_rx_all(psi: &mut StateVector, values: &[f64], gamma: f64, theta: f64) {
+    phase_rx_all_exec(psi, values, gamma, theta, &Executor::serial());
+}
+
+/// [`phase_rx_all`] on an execution policy: pooled sweeps above the
+/// executor's crossover, the bit-identical serial path below it.
+///
+/// # Panics
+///
+/// Panics if `values.len() != 2^n`.
+pub fn phase_rx_all_exec(
+    psi: &mut StateVector,
+    values: &[f64],
+    gamma: f64,
+    theta: f64,
+    exec: &Executor,
+) {
     let n = psi.num_qubits();
-    assert_eq!(
-        values.len(),
-        psi.dim(),
-        "diagonal length must equal 2^n"
-    );
-    let amps = psi.amplitudes_mut();
+    assert_eq!(values.len(), psi.dim(), "diagonal length must equal 2^n");
+    let pool = exec.pool_for(n);
+    let (re, im) = psi.re_im_mut();
     if n == 1 {
-        rx_single_sweep(amps, 0, theta, Some((values, gamma)));
+        rx_single_sweep(re, im, 0, theta, Some((values, gamma)));
         return;
     }
     let k = RxPair::new(theta);
-    phase_rx_pair01_sweep(amps, values, gamma, k);
-    let mut q = 2;
-    while q + 1 < n {
-        rx_pair_sweep(amps, q, q + 1, k);
-        q += 2;
+    match pool {
+        Some(pool) => run_chunked(pool, re, im, values, 4, |c| {
+            phase_rx_pair01_sweep(c.re, c.im, c.values, gamma, k)
+        }),
+        None => phase_rx_pair01_sweep(re, im, values, gamma, k),
     }
-    if q < n {
-        rx_single_sweep(amps, q, theta, None);
-    }
+    rx_tail(re, im, n, 2, theta, k, pool);
 }
 
 #[cfg(test)]
@@ -207,10 +365,10 @@ mod tests {
     use crate::gates;
 
     fn max_amp_diff(a: &StateVector, b: &StateVector) -> f64 {
-        a.amplitudes()
+        a.to_amplitudes()
             .iter()
-            .zip(b.amplitudes())
-            .map(|(x, y)| (*x - *y).norm())
+            .zip(b.to_amplitudes())
+            .map(|(x, y)| (*x - y).norm())
             .fold(0.0, f64::max)
     }
 
@@ -259,6 +417,39 @@ mod tests {
             phase_rx_all(&mut psi, op.values(), 0.9, 0.6);
         }
         assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_sweeps_are_bit_identical_to_serial() {
+        // Chunking never changes per-element arithmetic, so even
+        // parallel-vs-serial sweeps (not just different pool widths)
+        // agree bit-for-bit; only reductions differ by grouping.
+        for n in [2usize, 3, 5, 6, 8, 9] {
+            let op = DiagonalOperator::from_fn(n, |z| z.count_ones() as f64 + 0.01 * z as f64);
+            let mut serial = StateVector::uniform_superposition(n);
+            for q in 0..n {
+                gates::ry(&mut serial, q, 0.17 * (q + 1) as f64);
+            }
+            let pooled_src = serial.clone();
+            phase_rx_all(&mut serial, op.values(), 0.41, 0.93);
+            for threads in [1usize, 2, 4] {
+                let exec = Executor::threaded_with_crossover(threads, 1);
+                let mut pooled = pooled_src.clone();
+                phase_rx_all_exec(&mut pooled, op.values(), 0.41, 0.93, &exec);
+                assert_eq!(pooled, serial, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn below_crossover_threaded_executor_runs_serial() {
+        let exec = Executor::threaded_with_crossover(4, 10);
+        let mut a = StateVector::uniform_superposition(5);
+        gates::ry(&mut a, 2, 0.4);
+        let mut b = a.clone();
+        rx_all(&mut a, 0.6);
+        rx_all_exec(&mut b, 0.6, &exec);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -18,16 +18,20 @@ pub fn single_qubit(psi: &mut StateVector, qubit: usize, matrix: [[Complex; 2]; 
     assert!(qubit < n, "qubit {qubit} out of range for {n} qubits");
     let stride = 1usize << qubit;
     let dim = psi.dim();
-    let amps = psi.amplitudes_mut();
+    let (re, im) = psi.re_im_mut();
     let mut base = 0;
     while base < dim {
         for offset in 0..stride {
             let i0 = base + offset;
             let i1 = i0 + stride;
-            let a0 = amps[i0];
-            let a1 = amps[i1];
-            amps[i0] = matrix[0][0] * a0 + matrix[0][1] * a1;
-            amps[i1] = matrix[1][0] * a0 + matrix[1][1] * a1;
+            let a0 = Complex::new(re[i0], im[i0]);
+            let a1 = Complex::new(re[i1], im[i1]);
+            let y0 = matrix[0][0] * a0 + matrix[0][1] * a1;
+            let y1 = matrix[1][0] * a0 + matrix[1][1] * a1;
+            re[i0] = y0.re;
+            im[i0] = y0.im;
+            re[i1] = y1.re;
+            im[i1] = y1.im;
         }
         base += 2 * stride;
     }
@@ -101,8 +105,13 @@ pub fn rz(psi: &mut StateVector, qubit: usize, theta: f64) {
     assert!(qubit < n, "qubit {qubit} out of range for {n} qubits");
     let phase0 = Complex::cis(-theta / 2.0);
     let phase1 = Complex::cis(theta / 2.0);
-    for (i, a) in psi.amplitudes_mut().iter_mut().enumerate() {
-        *a *= if (i >> qubit) & 1 == 0 { phase0 } else { phase1 };
+    let dim = psi.dim();
+    let (re, im) = psi.re_im_mut();
+    for i in 0..dim {
+        let a = Complex::new(re[i], im[i])
+            * if (i >> qubit) & 1 == 0 { phase0 } else { phase1 };
+        re[i] = a.re;
+        im[i] = a.im;
     }
 }
 
@@ -116,13 +125,14 @@ pub fn cnot(psi: &mut StateVector, control: usize, target: usize) {
     assert!(control < n && target < n, "qubit out of range for {n} qubits");
     assert_ne!(control, target, "control and target must differ");
     let dim = psi.dim();
-    let amps = psi.amplitudes_mut();
+    let (re, im) = psi.re_im_mut();
     for i in 0..dim {
         // Swap each |control=1, target=0⟩ amplitude with its target-flipped
         // partner exactly once.
         if (i >> control) & 1 == 1 && (i >> target) & 1 == 0 {
             let j = i | (1 << target);
-            amps.swap(i, j);
+            re.swap(i, j);
+            im.swap(i, j);
         }
     }
 }
@@ -138,10 +148,14 @@ pub fn rzz(psi: &mut StateVector, qubit_a: usize, qubit_b: usize, theta: f64) {
     assert_ne!(qubit_a, qubit_b, "rzz qubits must differ");
     let same = Complex::cis(-theta / 2.0);
     let diff = Complex::cis(theta / 2.0);
-    for (i, a) in psi.amplitudes_mut().iter_mut().enumerate() {
+    let dim = psi.dim();
+    let (re, im) = psi.re_im_mut();
+    for i in 0..dim {
         let za = (i >> qubit_a) & 1;
         let zb = (i >> qubit_b) & 1;
-        *a *= if za == zb { same } else { diff };
+        let a = Complex::new(re[i], im[i]) * if za == zb { same } else { diff };
+        re[i] = a.re;
+        im[i] = a.im;
     }
 }
 
@@ -187,10 +201,10 @@ mod tests {
         h(&mut psi, 2);
         h(&mut psi, 2);
         assert!(before
-            .amplitudes()
+            .to_amplitudes()
             .iter()
-            .zip(psi.amplitudes())
-            .all(|(a, b)| close(*a, *b)));
+            .zip(psi.to_amplitudes())
+            .all(|(a, b)| close(*a, b)));
     }
 
     #[test]

@@ -178,9 +178,9 @@ impl PauliString {
             _ => -Complex::I,
         };
         let dim = psi.dim();
-        let amps = psi.amplitudes_mut();
+        let (re, im) = psi.re_im_mut();
         let mut out = vec![Complex::ZERO; dim];
-        for (i, &a) in amps.iter().enumerate() {
+        for i in 0..dim {
             let j = i ^ flip_mask;
             // Phase from Z/Y factors acting on the *input* basis state:
             // (-1)^{popcount(i & phase_mask)}.
@@ -189,9 +189,12 @@ impl PauliString {
             } else {
                 -Complex::ONE
             };
-            out[j] += global * sign * a;
+            out[j] += global * sign * Complex::new(re[i], im[i]);
         }
-        amps.copy_from_slice(&out);
+        for (i, a) in out.iter().enumerate() {
+            re[i] = a.re;
+            im[i] = a.im;
+        }
     }
 
     /// Exact expectation `⟨ψ|P|ψ⟩` (real, since `P` is Hermitian).

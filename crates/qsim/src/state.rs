@@ -1,11 +1,22 @@
 use qrand::Rng;
 
+use crate::exec::Executor;
 use crate::{Complex, MAX_QUBITS};
 
 /// A dense `n`-qubit quantum state: `2^n` complex amplitudes.
 ///
 /// Basis states are indexed little-endian: bit `q` of the index is the value
 /// of qubit `q`.
+///
+/// # Storage layout
+///
+/// Amplitudes are stored **struct-of-arrays**: one `Vec<f64>` of real parts
+/// and one of imaginary parts, rather than an interleaved `Vec<Complex>`.
+/// The fused butterfly sweeps in [`crate::fused`] then reduce to flat
+/// same-stride `f64` loops that the compiler auto-vectorizes, and the
+/// multi-threaded execution path hands workers plain disjoint `&mut [f64]`
+/// chunks. [`Self::amplitude`] and [`Self::to_amplitudes`] provide the
+/// interleaved view where convenience beats throughput.
 ///
 /// # Example
 ///
@@ -20,7 +31,8 @@ use crate::{Complex, MAX_QUBITS};
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateVector {
     num_qubits: usize,
-    amplitudes: Vec<Complex>,
+    re: Vec<f64>,
+    im: Vec<f64>,
 }
 
 impl StateVector {
@@ -46,11 +58,12 @@ impl StateVector {
         );
         let dim = 1usize << num_qubits;
         assert!((index as usize) < dim, "basis index {index} out of range");
-        let mut amplitudes = vec![Complex::ZERO; dim];
-        amplitudes[index as usize] = Complex::ONE;
+        let mut re = vec![0.0; dim];
+        re[index as usize] = 1.0;
         StateVector {
             num_qubits,
-            amplitudes,
+            re,
+            im: vec![0.0; dim],
         }
     }
 
@@ -70,8 +83,9 @@ impl StateVector {
     /// optimizer-driven circuit runs per labeled graph) run without any
     /// state-vector allocations after setup.
     pub fn set_uniform_superposition(&mut self) {
-        let amp = Complex::from(1.0 / (self.dim() as f64).sqrt());
-        self.amplitudes.fill(amp);
+        let amp = 1.0 / (self.dim() as f64).sqrt();
+        self.re.fill(amp);
+        self.im.fill(0.0);
     }
 
     /// Resets this state to the computational basis state `|index⟩` in
@@ -85,11 +99,13 @@ impl StateVector {
             (index as usize) < self.dim(),
             "basis index {index} out of range"
         );
-        self.amplitudes.fill(Complex::ZERO);
-        self.amplitudes[index as usize] = Complex::ONE;
+        self.re.fill(0.0);
+        self.im.fill(0.0);
+        self.re[index as usize] = 1.0;
     }
 
-    /// Builds a state from raw amplitudes (length must be a power of two).
+    /// Builds a state from raw interleaved amplitudes (length must be a
+    /// power of two).
     ///
     /// # Panics
     ///
@@ -101,7 +117,8 @@ impl StateVector {
         assert!(num_qubits <= MAX_QUBITS, "too many qubits");
         StateVector {
             num_qubits,
-            amplitudes,
+            re: amplitudes.iter().map(|a| a.re).collect(),
+            im: amplitudes.iter().map(|a| a.im).collect(),
         }
     }
 
@@ -112,17 +129,34 @@ impl StateVector {
 
     /// Dimension `2^n` of the underlying vector.
     pub fn dim(&self) -> usize {
-        self.amplitudes.len()
+        self.re.len()
     }
 
-    /// Immutable view of the amplitudes.
-    pub fn amplitudes(&self) -> &[Complex] {
-        &self.amplitudes
+    /// The real parts, one per basis state.
+    pub fn re(&self) -> &[f64] {
+        &self.re
     }
 
-    /// Mutable view of the amplitudes (used by gate kernels).
-    pub fn amplitudes_mut(&mut self) -> &mut [Complex] {
-        &mut self.amplitudes
+    /// The imaginary parts, one per basis state.
+    pub fn im(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// Mutable views of both component arrays (used by gate kernels; one
+    /// call because the borrow checker must see the two disjoint borrows
+    /// at once).
+    pub fn re_im_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+
+    /// The amplitudes gathered into interleaved form — a convenience for
+    /// tests and diagnostics; kernels work on the split arrays directly.
+    pub fn to_amplitudes(&self) -> Vec<Complex> {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&re, &im)| Complex::new(re, im))
+            .collect()
     }
 
     /// The amplitude of basis state `index`.
@@ -131,14 +165,15 @@ impl StateVector {
     ///
     /// Panics if `index >= 2^n`.
     pub fn amplitude(&self, index: usize) -> Complex {
-        self.amplitudes[index]
+        Complex::new(self.re[index], self.im[index])
     }
 
     /// `⟨self|self⟩^{1/2}`.
     pub fn norm(&self) -> f64 {
-        self.amplitudes
+        self.re
             .iter()
-            .map(|a| a.norm_sqr())
+            .zip(&self.im)
+            .map(|(&re, &im)| re * re + im * im)
             .sum::<f64>()
             .sqrt()
     }
@@ -152,8 +187,11 @@ impl StateVector {
         let n = self.norm();
         assert!(n > 1e-300, "cannot normalize the zero vector");
         let inv = 1.0 / n;
-        for a in &mut self.amplitudes {
-            *a = a.scale(inv);
+        for re in &mut self.re {
+            *re *= inv;
+        }
+        for im in &mut self.im {
+            *im *= inv;
         }
     }
 
@@ -167,11 +205,11 @@ impl StateVector {
             self.num_qubits, other.num_qubits,
             "inner product requires equal qubit counts"
         );
-        self.amplitudes
-            .iter()
-            .zip(&other.amplitudes)
-            .map(|(a, b)| a.conj() * *b)
-            .sum()
+        let mut acc = Complex::ZERO;
+        for i in 0..self.dim() {
+            acc += self.amplitude(i).conj() * other.amplitude(i);
+        }
+        acc
     }
 
     /// Fidelity `|⟨self|other⟩|²`.
@@ -189,19 +227,23 @@ impl StateVector {
     ///
     /// Panics if `index >= 2^n`.
     pub fn probability(&self, index: usize) -> f64 {
-        self.amplitudes[index].norm_sqr()
+        self.re[index] * self.re[index] + self.im[index] * self.im[index]
     }
 
     /// All basis-state probabilities.
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&re, &im)| re * re + im * im)
+            .collect()
     }
 
     /// Samples one computational-basis measurement outcome.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let mut u: f64 = rng.gen::<f64>() * self.norm().powi(2);
-        for (i, a) in self.amplitudes.iter().enumerate() {
-            u -= a.norm_sqr();
+        for i in 0..self.dim() {
+            u -= self.re[i] * self.re[i] + self.im[i] * self.im[i];
             if u <= 0.0 {
                 return i as u64;
             }
@@ -222,16 +264,71 @@ impl StateVector {
     /// Expectation value of a real diagonal observable given as per-basis
     /// values.
     ///
+    /// This serial path folds the sum left-to-right over basis states and
+    /// is kept bit-identical across releases — the golden suites pin it.
+    ///
     /// # Panics
     ///
     /// Panics if `values.len() != 2^n`.
     pub fn expectation_diagonal(&self, values: &[f64]) -> f64 {
         assert_eq!(values.len(), self.dim(), "diagonal length must equal 2^n");
-        self.amplitudes
+        self.re
             .iter()
+            .zip(&self.im)
             .zip(values)
-            .map(|(a, &v)| a.norm_sqr() * v)
+            .map(|((&re, &im), &v)| (re * re + im * im) * v)
             .sum()
+    }
+
+    /// [`Self::expectation_diagonal`] on an execution policy: above the
+    /// policy's crossover the probability-weighted sum is computed in
+    /// fixed-size chunks on the worker pool and the per-chunk partials are
+    /// folded in index order.
+    ///
+    /// The chunk size is a constant (not a function of the thread count),
+    /// so the result is **bit-identical for any pool width** — only the
+    /// serial path's left-to-right fold groups differently, and the golden
+    /// parallel suite pins that gap below 1e-12.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 2^n`.
+    pub fn expectation_diagonal_exec(&self, values: &[f64], exec: &Executor) -> f64 {
+        assert_eq!(values.len(), self.dim(), "diagonal length must equal 2^n");
+        let Some(pool) = exec.pool_for(self.num_qubits) else {
+            return self.expectation_diagonal(values);
+        };
+        /// One fixed-size reduction chunk: borrowed inputs, owned partial.
+        struct ReduceChunk<'a> {
+            re: &'a [f64],
+            im: &'a [f64],
+            values: &'a [f64],
+            partial: f64,
+        }
+        let mut chunks: Vec<ReduceChunk<'_>> = self
+            .re
+            .chunks(Executor::REDUCE_CHUNK)
+            .zip(self.im.chunks(Executor::REDUCE_CHUNK))
+            .zip(values.chunks(Executor::REDUCE_CHUNK))
+            .map(|((re, im), values)| ReduceChunk {
+                re,
+                im,
+                values,
+                partial: 0.0,
+            })
+            .collect();
+        pool.run_mut(&mut chunks, |_, chunk| {
+            chunk.partial = chunk
+                .re
+                .iter()
+                .zip(chunk.im)
+                .zip(chunk.values)
+                .map(|((&re, &im), &v)| (re * re + im * im) * v)
+                .sum();
+        });
+        // Deterministic fold: chunk order is index order regardless of
+        // which worker produced each partial.
+        chunks.iter().map(|c| c.partial).sum()
     }
 }
 
@@ -302,6 +399,23 @@ mod tests {
     }
 
     #[test]
+    fn split_and_interleaved_views_agree() {
+        let amps = vec![
+            Complex::new(0.1, -0.2),
+            Complex::new(0.3, 0.4),
+            Complex::new(-0.5, 0.6),
+            Complex::new(0.7, -0.8),
+        ];
+        let psi = StateVector::from_amplitudes(amps.clone());
+        assert_eq!(psi.to_amplitudes(), amps);
+        for (i, a) in amps.iter().enumerate() {
+            assert_eq!(psi.re()[i], a.re);
+            assert_eq!(psi.im()[i], a.im);
+            assert_eq!(psi.amplitude(i), *a);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn from_amplitudes_rejects_non_power_of_two() {
         let _ = StateVector::from_amplitudes(vec![Complex::ONE; 3]);
@@ -353,6 +467,34 @@ mod tests {
         let psi = StateVector::uniform_superposition(2);
         let values = [0.0, 1.0, 2.0, 3.0];
         assert!((psi.expectation_diagonal(&values) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_diagonal_exec_matches_serial_for_serial_policy() {
+        let psi = StateVector::uniform_superposition(3);
+        let values: Vec<f64> = (0..8).map(|i| i as f64 * 0.3).collect();
+        let serial = psi.expectation_diagonal(&values);
+        let via_exec = psi.expectation_diagonal_exec(&values, &Executor::serial());
+        assert_eq!(serial.to_bits(), via_exec.to_bits());
+    }
+
+    #[test]
+    fn expectation_diagonal_exec_parallel_is_close_and_pool_invariant() {
+        let mut psi = StateVector::uniform_superposition(9);
+        // Asymmetrize so the sum has non-trivial cancellation structure.
+        crate::gates::ry(&mut psi, 3, 0.7);
+        crate::gates::rz(&mut psi, 5, 1.1);
+        let values: Vec<f64> = (0..512).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let serial = psi.expectation_diagonal(&values);
+        let mut parallel = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::threaded_with_crossover(threads, 1);
+            parallel.push(psi.expectation_diagonal_exec(&values, &exec));
+        }
+        for p in &parallel {
+            assert!((p - serial).abs() < 1e-12, "parallel {p} vs serial {serial}");
+            assert_eq!(p.to_bits(), parallel[0].to_bits(), "pool-width variance");
+        }
     }
 
     #[test]

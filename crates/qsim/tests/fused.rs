@@ -37,10 +37,10 @@ fn random_diagonal<R: Rng + ?Sized>(num_qubits: usize, rng: &mut R) -> DiagonalO
 }
 
 fn max_amp_diff(a: &StateVector, b: &StateVector) -> f64 {
-    a.amplitudes()
+    a.to_amplitudes()
         .iter()
-        .zip(b.amplitudes())
-        .map(|(x, y)| (*x - *y).norm())
+        .zip(b.to_amplitudes())
+        .map(|(x, y)| (*x - y).norm())
         .fold(0.0, f64::max)
 }
 

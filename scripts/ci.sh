@@ -17,7 +17,7 @@ cargo test -q --offline | tee "$test_log"
 echo "==> test-count floor"
 # The suite must never silently shrink: the floor is the passing-test
 # count at the time of the last change to it. Raise it when adding tests.
-TEST_FLOOR=567
+TEST_FLOOR=602
 total=$(grep -oE '[0-9]+ passed' "$test_log" | awk '{s+=$1} END {print s+0}')
 rm -f "$test_log"
 if [ "$total" -lt "$TEST_FLOOR" ]; then
@@ -50,6 +50,14 @@ for bench in generators optimizers gnn_forward simulator labeling; do
     cargo bench --offline -q -p qaoa-gnn-bench --bench "$bench" -- --test >/dev/null
 done
 echo "OK: benches run"
+
+echo "==> parallel smoke (pooled kernels at 2 threads: golden parity + invariance)"
+# Release-mode pass over the golden parallel-parity suite: serial bits
+# pinned across the SoA refactor, pooled-vs-serial ≤ 1e-12 for n=2..15
+# p=1..3, and 1/2/4/8-thread bit-identity (the suite drives 2-thread
+# pools internally; the env var covers the from_env plumbing too).
+QAOA_GNN_SIM_THREADS=2 cargo test --release --offline -q -p qaoa-gnn --test golden_parallel >/dev/null
+echo "OK: pooled path matches serial and is thread-count invariant"
 
 echo "==> checkpoint/resume smoke (label, kill mid-journal, resume, diff)"
 cargo run --release --offline -q -p qaoa-gnn-bench --bin checkpoint_smoke
