@@ -16,6 +16,7 @@ use gnn::train::TrainHistory;
 use gnn::{GnnKind, GnnModel};
 use qaoa_gnn::dataset::LabelReport;
 use qaoa_gnn::pipeline::PipelineConfig;
+use qaoa_gnn::serve::ServeRequest;
 use qaoa_gnn::{
     GuardedPredictor, RequestError, RunArtifact, Rung, ServeConfig, SkipReason, TrainingEnvelope,
 };
@@ -70,7 +71,7 @@ fn main() -> ExitCode {
     let g = Graph::cycle(8).expect("cycle");
 
     // Request 1 hits the env-armed NaN injection and must degrade.
-    let degraded = match served.predict(&g) {
+    let degraded = match served.handle(&ServeRequest::from_graph(g.clone())).result {
         Ok(o) => o,
         Err(e) => return fail(&format!("degraded request rejected: {e}")),
     };
@@ -83,7 +84,7 @@ fn main() -> ExitCode {
     }
 
     // Request 2: the injection budget is spent; clean and bit-identical.
-    let clean = match served.predict(&g) {
+    let clean = match served.handle(&ServeRequest::from_graph(g.clone())).result {
         Ok(o) => o,
         Err(e) => return fail(&format!("clean request rejected: {e}")),
     };
@@ -102,7 +103,7 @@ fn main() -> ExitCode {
     }
 
     // Hostile text: typed rejection with the offending line.
-    match served.predict_text("n 3\ne 0 1 nan\n") {
+    match served.handle(&ServeRequest::from_text("n 3\ne 0 1 nan\n")).result {
         Err(RequestError::Parse(e)) if e.line == 2 => {
             println!("hostile text rejected:   {e}");
         }
@@ -111,7 +112,7 @@ fn main() -> ExitCode {
 
     // Out-of-envelope: degrade, never a silent model prediction.
     let big = Graph::cycle(20).expect("cycle");
-    match served.predict(&big) {
+    match served.handle(&ServeRequest::from_graph(big)).result {
         Ok(o) if o.rung != Rung::Gnn => {
             println!("out-of-envelope:         {}", o.summary());
         }

@@ -18,6 +18,8 @@
 //! | [`FORWARD`] | the guarded GNN forward pass | prediction panics (`Panic`) or returns NaN (`Nan`) |
 //! | [`SIM_EVAL`] | the guarded simulator verification | score becomes NaN (`Nan`) or evaluation panics |
 //! | [`JOURNAL_IO`] | [`crate::store::LabelJournal::append`] | append fails or panics |
+//! | [`HOT_SWAP`] | [`crate::serve_loop::ServeLoop::swap_artifact`] | swap rejected (`Error`) or panics; the old artifact keeps serving |
+//! | [`ADMISSION`] | [`crate::serve_loop::ServeLoop::submit`] | request refused (`Error`) or panics at admission |
 //!
 //! # Arming
 //!
@@ -53,9 +55,24 @@ pub const FORWARD: &str = "forward";
 pub const SIM_EVAL: &str = "sim_eval";
 /// Failpoint inside [`crate::store::LabelJournal::append`].
 pub const JOURNAL_IO: &str = "journal_io";
+/// Failpoint inside [`crate::serve_loop::ServeLoop::swap_artifact`]: the
+/// incoming artifact's model rebuild fails (`Error`) or panics (`Panic`),
+/// and the loop must keep serving the old generation.
+pub const HOT_SWAP: &str = "hot_swap";
+/// Failpoint inside [`crate::serve_loop::ServeLoop::submit`]: admission
+/// refuses (`Error`) or panics (`Panic`) instead of enqueueing.
+pub const ADMISSION: &str = "admission";
 
 /// Every failpoint name, for enumeration in tests and docs.
-pub const ALL: [&str; 5] = [ARTIFACT_LOAD, WEIGHT_BUILD, FORWARD, SIM_EVAL, JOURNAL_IO];
+pub const ALL: [&str; 7] = [
+    ARTIFACT_LOAD,
+    WEIGHT_BUILD,
+    FORWARD,
+    SIM_EVAL,
+    JOURNAL_IO,
+    HOT_SWAP,
+    ADMISSION,
+];
 
 /// What an armed failpoint injects when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

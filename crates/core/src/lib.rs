@@ -43,6 +43,7 @@ pub mod json;
 pub mod pipeline;
 pub mod sdp;
 pub mod serve;
+pub mod serve_loop;
 pub mod store;
 
 pub use dataset::{Dataset, LabeledGraph};
@@ -50,7 +51,8 @@ pub use eval::{EvaluationReport, GraphComparison};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use serve::{
-    EnvelopeStatus, GuardedPredictor, PredictionOutcome, RequestError, Rung, ServeConfig, Skip,
-    SkipReason,
+    EnvelopeStatus, GuardedPredictor, PredictionOutcome, Priority, RequestError, RequestPayload,
+    Rung, ServeConfig, ServeRequest, ServeResponse, Skip, SkipReason,
 };
+pub use serve_loop::{Completed, LoopConfig, LoopStats, ServeLoop, SwapError, Ticket};
 pub use store::{ArtifactError, EnvelopeViolation, RunArtifact, TrainingEnvelope};

@@ -427,6 +427,19 @@ impl Pipeline {
             ),
         }
     }
+
+    /// Publishes this run's trained model into a live serving loop as a
+    /// mid-traffic hot-swap: the retrain → redeploy path with no restart
+    /// and no dropped requests. The artifact is validated before
+    /// publication; on [`crate::serve_loop::SwapError`] the loop keeps
+    /// serving its previous generation untouched.
+    pub fn publish(
+        &self,
+        config: &PipelineConfig,
+        serve: &crate::serve_loop::ServeLoop,
+    ) -> Result<u64, crate::serve_loop::SwapError> {
+        serve.swap_artifact(self.to_artifact(config))
+    }
 }
 
 #[cfg(test)]

@@ -34,15 +34,29 @@
 //! The ladder never panics and never falls silently: a caller always gets
 //! either a typed [`RequestError`] (the *request* was bad) or a
 //! [`PredictionOutcome`] naming the rung that answered and the reason for
-//! every rung that did not. [`GuardedPredictor::serve_batch`] additionally
-//! isolates requests from each other with `catch_unwind`, so one poisoned
-//! graph cannot take down a batch.
+//! every rung that did not.
+//!
+//! # The typed request API
+//!
+//! Every way into the predictor is one method,
+//! [`GuardedPredictor::handle`], taking a [`ServeRequest`] message — a
+//! graph-or-text payload plus per-request policy (deadline, [`Priority`],
+//! a [`Rung`] quality floor) — and returning a [`ServeResponse`]. The
+//! historical `predict` / `predict_text` / `serve_batch` trio survives as
+//! thin deprecated wrappers over the same internals, proven bit-identical
+//! in `tests/serve_loop.rs`. The deadline and priority fields are
+//! honored by the concurrent request loop ([`crate::serve_loop`]), which
+//! also drives the **load-shed path** ([`GuardedPredictor::handle_shed`]):
+//! under saturation a request skips the GNN rung — recorded as
+//! [`SkipReason::Shed`] — and is answered from the cheap fixed-angle
+//! rung instead of queueing unboundedly.
 //!
 //! Every defense is exercised by deterministic fault injection
 //! ([`crate::faults`]) rather than trusted on inspection — see
 //! `tests/serve_degradation.rs` for the failpoint × rung matrix.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use gnn::GnnModel;
 use qaoa::{fixed_angle, Evaluator, MaxCutHamiltonian, Params, QaoaCircuit};
@@ -53,6 +67,10 @@ use crate::faults::{self, FaultAction};
 use crate::store::{ArtifactError, EnvelopeViolation, RunArtifact, TrainingEnvelope};
 
 /// Serving policy knobs.
+///
+/// Built like [`crate::pipeline::PipelineConfig`]: start from
+/// [`Default::default`] (or [`ServeConfig::from_env`]) and refine with the
+/// `with_*` builders.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Caps applied to incoming requests (text requests at parse time,
@@ -82,6 +100,72 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// [`Default::default`] with optional environment overrides, the same
+    /// treatment [`crate::pipeline::PipelineConfig::from_env`] gives the
+    /// training side:
+    ///
+    /// * `QAOA_GNN_SERVE_STRICT` — non-empty, non-`0`: reject
+    ///   out-of-envelope requests instead of degrading.
+    /// * `QAOA_GNN_SERVE_VERIFY_MAX_NODES` — simulator-verification node
+    ///   cap (`0` disables verification).
+    /// * `QAOA_GNN_SERVE_MAX_NODES` / `QAOA_GNN_SERVE_MAX_EDGES` —
+    ///   request size caps.
+    /// * `QAOA_GNN_SIM_THREADS` — pooled sweep workers per verification
+    ///   (shared with the training pipeline's variable).
+    pub fn from_env() -> Self {
+        let mut config = ServeConfig::default();
+        let parse = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        };
+        if matches!(std::env::var("QAOA_GNN_SERVE_STRICT"), Ok(v) if !v.is_empty() && v != "0") {
+            config = config.with_strict_envelope(true);
+        }
+        if let Some(cap) = parse("QAOA_GNN_SERVE_VERIFY_MAX_NODES") {
+            config = config.with_verify_max_nodes(cap);
+        }
+        if let Some(max_nodes) = parse("QAOA_GNN_SERVE_MAX_NODES") {
+            config.limits.max_nodes = max_nodes;
+        }
+        if let Some(max_edges) = parse("QAOA_GNN_SERVE_MAX_EDGES") {
+            config.limits.max_edges = max_edges;
+        }
+        if let Some(sim_threads) = parse("QAOA_GNN_SIM_THREADS") {
+            config = config.with_sim_threads(sim_threads);
+        }
+        config
+    }
+
+    /// Builder-style: sets the request parsing/size caps.
+    pub fn with_limits(mut self, limits: ParseLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Builder-style: sets strict envelope policy (reject instead of
+    /// degrade on out-of-envelope requests).
+    pub fn with_strict_envelope(mut self, strict: bool) -> Self {
+        self.strict_envelope = strict;
+        self
+    }
+
+    /// Builder-style: sets the simulator-verification node cap (`0`
+    /// disables verification).
+    pub fn with_verify_max_nodes(mut self, verify_max_nodes: usize) -> Self {
+        self.verify_max_nodes = verify_max_nodes;
+        self
+    }
+
+    /// Builder-style: sets the pooled sweep-worker count per verification
+    /// (`0` = the bit-identical serial path).
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
+        self
+    }
+}
+
 /// A rung of the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rung {
@@ -92,6 +176,20 @@ pub enum Rung {
     /// Envelope-mean label when the artifact records one, otherwise the
     /// deterministic default init. Total: this rung always answers.
     Fallback,
+}
+
+impl Rung {
+    /// Ladder quality: higher serves better parameters. `Gnn` (2) >
+    /// `FixedAngle` (1) > `Fallback` (0). Used by
+    /// [`ServeRequest::rung_floor`] to reject answers below a requested
+    /// quality instead of silently serving them.
+    pub fn quality(self) -> u8 {
+        match self {
+            Rung::Gnn => 2,
+            Rung::FixedAngle => 1,
+            Rung::Fallback => 0,
+        }
+    }
 }
 
 impl std::fmt::Display for Rung {
@@ -125,6 +223,13 @@ pub enum SkipReason {
     /// The rung does not apply to this graph (e.g. fixed angles on an
     /// edgeless graph).
     NotApplicable,
+    /// The serving loop shed this request under load: the GNN rung was
+    /// skipped deliberately so the queue drains on the cheap fixed-angle
+    /// path instead of growing unboundedly.
+    Shed {
+        /// Queue depth observed at the shed decision.
+        queue_depth: usize,
+    },
 }
 
 impl std::fmt::Display for SkipReason {
@@ -138,6 +243,9 @@ impl std::fmt::Display for SkipReason {
             }
             SkipReason::VerificationFailed => write!(f, "simulator verification failed"),
             SkipReason::NotApplicable => write!(f, "not applicable to this graph"),
+            SkipReason::Shed { queue_depth } => {
+                write!(f, "shed under load (queue depth {queue_depth})")
+            }
         }
     }
 }
@@ -196,6 +304,14 @@ impl PredictionOutcome {
         self.rung == Rung::Gnn && self.skips.is_empty() && !self.clamped
     }
 
+    /// `true` when this request was load-shed (a [`SkipReason::Shed`] hop
+    /// is recorded).
+    pub fn was_shed(&self) -> bool {
+        self.skips
+            .iter()
+            .any(|s| matches!(s.reason, SkipReason::Shed { .. }))
+    }
+
     /// One-line human-readable account, e.g.
     /// `fixed-angle (γ=0.6155, β=0.3927) after gnn: out of training envelope: …`.
     pub fn summary(&self) -> String {
@@ -214,6 +330,135 @@ impl PredictionOutcome {
             s.push_str("; envelope unknown (pre-envelope artifact)");
         }
         s
+    }
+}
+
+/// Request urgency, honored by the serving loop's admission policy: under
+/// saturation `Normal` requests shed to the fixed-angle rung first, while
+/// `High` requests keep the full ladder until the queue is hard-full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Best-effort (the default): sheds first under load.
+    #[default]
+    Normal,
+    /// Latency/quality-critical: sheds only at hard queue capacity.
+    High,
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Normal => write!(f, "normal"),
+            Priority::High => write!(f, "high"),
+        }
+    }
+}
+
+/// What a [`ServeRequest`] carries: a pre-built graph or untrusted text
+/// to parse under the serving limits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestPayload {
+    /// An already-constructed graph (still checked against the size caps).
+    Graph(Graph),
+    /// Graph text in the repository's edge-list format; parsed with the
+    /// strict, line-numbered serving parser.
+    Text(String),
+}
+
+/// One typed serving request: the payload plus per-request policy.
+///
+/// Construct with [`ServeRequest::from_graph`] / [`ServeRequest::from_text`]
+/// and refine with the `with_*` builders:
+///
+/// ```
+/// use qaoa_gnn::serve::{Priority, Rung, ServeRequest};
+/// let request = ServeRequest::from_text("n 3\ne 0 1\ne 1 2\ne 0 2\n")
+///     .with_priority(Priority::High)
+///     .with_deadline_micros(5_000)
+///     .with_rung_floor(Rung::FixedAngle);
+/// assert_eq!(request.priority, Priority::High);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// The instance to predict parameters for.
+    pub payload: RequestPayload,
+    /// Admission urgency (see [`Priority`]).
+    pub priority: Priority,
+    /// Queueing budget in microseconds: if the request waits longer than
+    /// this in the serving loop's queue it is shed to the fixed-angle
+    /// rung rather than served late at full quality. `None` = patient.
+    /// Ignored by the direct synchronous [`GuardedPredictor::handle`]
+    /// path, which never queues.
+    pub deadline_micros: Option<u64>,
+    /// Minimum acceptable answer quality. A response whose serving rung
+    /// is *below* this floor becomes [`RequestError::BelowFloor`] instead
+    /// of a silently degraded answer. `None` accepts the whole ladder.
+    pub rung_floor: Option<Rung>,
+}
+
+impl ServeRequest {
+    /// A default-policy request for a pre-built graph.
+    pub fn from_graph(graph: Graph) -> ServeRequest {
+        ServeRequest {
+            payload: RequestPayload::Graph(graph),
+            priority: Priority::Normal,
+            deadline_micros: None,
+            rung_floor: None,
+        }
+    }
+
+    /// A default-policy request for untrusted graph text.
+    pub fn from_text(text: impl Into<String>) -> ServeRequest {
+        ServeRequest {
+            payload: RequestPayload::Text(text.into()),
+            priority: Priority::Normal,
+            deadline_micros: None,
+            rung_floor: None,
+        }
+    }
+
+    /// Builder-style: sets the admission priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder-style: sets the queueing deadline in microseconds.
+    pub fn with_deadline_micros(mut self, deadline_micros: u64) -> Self {
+        self.deadline_micros = Some(deadline_micros);
+        self
+    }
+
+    /// Builder-style: sets the minimum acceptable serving rung.
+    pub fn with_rung_floor(mut self, floor: Rung) -> Self {
+        self.rung_floor = Some(floor);
+        self
+    }
+}
+
+/// The typed reply to one [`ServeRequest`].
+#[derive(Debug)]
+pub struct ServeResponse {
+    /// A fully-accounted prediction, or a typed rejection. Exactly one
+    /// response exists per handled request — the serving layer never
+    /// drops a request on the floor.
+    pub result: Result<PredictionOutcome, RequestError>,
+}
+
+impl ServeResponse {
+    /// The outcome, when the request was served.
+    pub fn outcome(&self) -> Option<&PredictionOutcome> {
+        self.result.as_ref().ok()
+    }
+
+    /// The rejection, when the request was refused.
+    pub fn error(&self) -> Option<&RequestError> {
+        self.result.as_ref().err()
+    }
+
+    /// `true` when the request was served via the load-shed path.
+    pub fn was_shed(&self) -> bool {
+        self.outcome().is_some_and(PredictionOutcome::was_shed)
     }
 }
 
@@ -238,9 +483,22 @@ pub enum RequestError {
     },
     /// Out-of-envelope request under [`ServeConfig::strict_envelope`].
     OutOfEnvelope(EnvelopeViolation),
+    /// The ladder answered below the request's [`ServeRequest::rung_floor`];
+    /// the caller preferred a typed refusal over a low-quality answer.
+    BelowFloor {
+        /// The rung that would have served.
+        served: Rung,
+        /// The floor the request demanded.
+        floor: Rung,
+    },
+    /// The serving loop's admission stage refused the request (only
+    /// reachable through the `admission` failpoint or a poisoned queue —
+    /// healthy saturation sheds instead of refusing).
+    Admission(String),
     /// The guarded pipeline itself panicked through every rung-level
-    /// defense (only reachable from [`GuardedPredictor::serve_batch`],
-    /// which contains it to the offending item).
+    /// defense (only reachable from [`GuardedPredictor::serve_batch`] and
+    /// the serving loop's workers, which contain it to the offending
+    /// item).
     Internal(String),
 }
 
@@ -257,12 +515,27 @@ impl std::fmt::Display for RequestError {
             RequestError::OutOfEnvelope(v) => {
                 write!(f, "request rejected (strict envelope): {v}")
             }
+            RequestError::BelowFloor { served, floor } => {
+                write!(
+                    f,
+                    "ladder answered on the {served} rung, below the requested {floor} floor"
+                )
+            }
+            RequestError::Admission(e) => write!(f, "request refused at admission: {e}"),
             RequestError::Internal(e) => write!(f, "internal serving failure: {e}"),
         }
     }
 }
 
-impl std::error::Error for RequestError {}
+impl std::error::Error for RequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RequestError::Parse(e) => Some(e),
+            RequestError::OutOfEnvelope(v) => Some(v),
+            _ => None,
+        }
+    }
+}
 
 impl From<ParseError> for RequestError {
     fn from(e: ParseError) -> Self {
@@ -288,7 +561,7 @@ fn default_init() -> (f64, f64) {
 /// simply starts one rung down, with the build failure recorded in each
 /// outcome's skip list.
 pub struct GuardedPredictor {
-    artifact: RunArtifact,
+    artifact: Arc<RunArtifact>,
     model: Result<GnnModel, String>,
     config: ServeConfig,
 }
@@ -298,6 +571,14 @@ impl GuardedPredictor {
     /// here, behind the `weight_build` failpoint; failure (or a contained
     /// panic) disables the GNN rung but not the predictor.
     pub fn new(artifact: RunArtifact, config: ServeConfig) -> GuardedPredictor {
+        GuardedPredictor::shared(Arc::new(artifact), config)
+    }
+
+    /// [`Self::new`] on an artifact that is already reference-counted.
+    /// The serving loop uses this so its worker threads rebuild their
+    /// per-thread models (the autodiff tape is single-threaded) from one
+    /// shared weight image instead of each holding a private copy.
+    pub fn shared(artifact: Arc<RunArtifact>, config: ServeConfig) -> GuardedPredictor {
         let model = catch_unwind(AssertUnwindSafe(|| {
             if faults::fire_may_panic(faults::WEIGHT_BUILD).is_some() {
                 return Err("fault injected: weight_build".to_string());
@@ -328,7 +609,12 @@ impl GuardedPredictor {
 
     /// The wrapped artifact.
     pub fn artifact(&self) -> &RunArtifact {
-        &self.artifact
+        self.artifact.as_ref()
+    }
+
+    /// The serving policy this predictor was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
     }
 
     /// `true` when the GNN rung is available (weights rebuilt cleanly).
@@ -341,16 +627,47 @@ impl GuardedPredictor {
         self.artifact.envelope.as_ref()
     }
 
+    /// Serves one typed request — the single entry point every payload
+    /// shape and policy routes through. Text payloads parse under the
+    /// strict serving limits; graph payloads are cap-checked; the ladder
+    /// runs; then the request's [`ServeRequest::rung_floor`] is enforced
+    /// on the answer. Never panics, never drops: exactly one
+    /// [`ServeResponse`] per call.
+    ///
+    /// `deadline_micros` and `priority` are queue-admission policy and are
+    /// not consulted here (this path never queues); the concurrent loop in
+    /// [`crate::serve_loop`] honors them.
+    pub fn handle(&self, request: &ServeRequest) -> ServeResponse {
+        ServeResponse {
+            result: self.handle_request(request),
+        }
+    }
+
+    /// The load-shed variant of [`Self::handle`]: validation and envelope
+    /// accounting run as usual, but the GNN rung (and its simulator
+    /// verification) is skipped outright — recorded as
+    /// [`SkipReason::Shed`] with the observed `queue_depth` — and the
+    /// request is answered from the cheap total rungs. This is what the
+    /// serving loop calls for saturation overflow; it is deterministic,
+    /// allocation-light, and never queues further work.
+    pub fn handle_shed(&self, request: &ServeRequest, queue_depth: usize) -> ServeResponse {
+        shed_response(&self.config, self.envelope(), request, queue_depth)
+    }
+
     /// Serves a request arriving as graph text: strict limited parsing,
-    /// then [`Self::predict`].
+    /// then the ladder.
     ///
     /// # Errors
     ///
     /// [`RequestError::Parse`] with the typed, line-numbered cause; then
-    /// anything [`Self::predict`] rejects.
+    /// anything the graph path rejects.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route requests through `GuardedPredictor::handle` with a typed `ServeRequest`"
+    )]
     pub fn predict_text(&self, text: &str) -> Result<PredictionOutcome, RequestError> {
         let graph = qgraph::io::graph_from_str_limited(text, &self.config.limits)?;
-        self.predict(&graph)
+        self.predict_graph(&graph)
     }
 
     /// Serves a request arriving as a pre-built graph: cap checks, envelope
@@ -362,31 +679,61 @@ impl GuardedPredictor {
     /// [`RequestError::TooManyNodes`] / [`RequestError::TooManyEdges`] when
     /// the request exceeds the serving caps, and
     /// [`RequestError::OutOfEnvelope`] under strict envelope policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route requests through `GuardedPredictor::handle` with a typed `ServeRequest`"
+    )]
     pub fn predict(&self, graph: &Graph) -> Result<PredictionOutcome, RequestError> {
-        if graph.n() > self.config.limits.max_nodes {
-            return Err(RequestError::TooManyNodes {
-                n: graph.n(),
-                cap: self.config.limits.max_nodes,
-            });
-        }
-        if graph.m() > self.config.limits.max_edges {
-            return Err(RequestError::TooManyEdges {
-                m: graph.m(),
-                cap: self.config.limits.max_edges,
-            });
-        }
+        self.predict_graph(graph)
+    }
 
-        let envelope = match self.envelope() {
-            None => EnvelopeStatus::Unknown,
-            Some(env) => match env.check(graph) {
-                Ok(()) => EnvelopeStatus::InEnvelope,
-                Err(v) if self.config.strict_envelope => {
-                    return Err(RequestError::OutOfEnvelope(v));
-                }
-                Err(v) => EnvelopeStatus::Violated(v),
-            },
+    /// Serves a batch, isolating requests from each other: a request that
+    /// somehow panics through every rung-level defense is contained by an
+    /// outer `catch_unwind` and reported as [`RequestError::Internal`] for
+    /// that item alone — the rest of the batch is served normally.
+    #[deprecated(
+        since = "0.2.0",
+        note = "submit typed `ServeRequest`s through `serve_loop::ServeLoop` (or map \
+                `GuardedPredictor::handle` over the batch)"
+    )]
+    pub fn serve_batch(&self, graphs: &[Graph]) -> Vec<Result<PredictionOutcome, RequestError>> {
+        graphs
+            .iter()
+            .map(|g| {
+                catch_unwind(AssertUnwindSafe(|| self.predict_graph(g))).unwrap_or_else(
+                    |payload| Err(RequestError::Internal(panic_message(&payload))),
+                )
+            })
+            .collect()
+    }
+
+    /// [`Self::handle`] without the response wrapper: payload dispatch,
+    /// the ladder, then the rung floor. The deprecated `predict` /
+    /// `predict_text` wrappers call the same `predict_graph` below with no
+    /// floor, which is what keeps them bit-identical to the typed path.
+    fn handle_request(
+        &self,
+        request: &ServeRequest,
+    ) -> Result<PredictionOutcome, RequestError> {
+        let outcome = match &request.payload {
+            RequestPayload::Graph(graph) => self.predict_graph(graph)?,
+            RequestPayload::Text(text) => {
+                let graph = qgraph::io::graph_from_str_limited(text, &self.config.limits)?;
+                self.predict_graph(&graph)?
+            }
         };
+        enforce_floor(outcome, request.rung_floor)
+    }
 
+    /// Request cap checks and envelope classification, shared by the full
+    /// ladder and the shed path.
+    fn admit_graph(&self, graph: &Graph) -> Result<EnvelopeStatus, RequestError> {
+        admit_with(&self.config, self.envelope(), graph)
+    }
+
+    /// The full degradation ladder on a pre-built graph.
+    fn predict_graph(&self, graph: &Graph) -> Result<PredictionOutcome, RequestError> {
+        let envelope = self.admit_graph(graph)?;
         let mut skips = Vec::new();
 
         // Rung 1: the GNN.
@@ -425,36 +772,13 @@ impl GuardedPredictor {
             }),
         }
 
-        // Rung 3: total fallback — envelope mean when recorded, else the
-        // deterministic default. Never verified, never refused.
-        let (gamma, beta) = self
-            .envelope()
-            .map(TrainingEnvelope::mean_label)
-            .unwrap_or_else(default_init);
-        let (gamma, beta, clamped) = clamp_principal(gamma, beta);
-        Ok(PredictionOutcome {
-            params: Params::new(vec![gamma], vec![beta]),
-            rung: Rung::Fallback,
-            skips,
-            envelope,
-            clamped,
-            verified_score: None,
-        })
+        Ok(self.fallback_outcome(skips, envelope))
     }
 
-    /// Serves a batch, isolating requests from each other: a request that
-    /// somehow panics through every rung-level defense is contained by an
-    /// outer `catch_unwind` and reported as [`RequestError::Internal`] for
-    /// that item alone — the rest of the batch is served normally.
-    pub fn serve_batch(&self, graphs: &[Graph]) -> Vec<Result<PredictionOutcome, RequestError>> {
-        graphs
-            .iter()
-            .map(|g| {
-                catch_unwind(AssertUnwindSafe(|| self.predict(g))).unwrap_or_else(|payload| {
-                    Err(RequestError::Internal(panic_message(&payload)))
-                })
-            })
-            .collect()
+    /// Rung 3: total fallback — envelope mean when recorded, else the
+    /// deterministic default. Never verified, never refused.
+    fn fallback_outcome(&self, skips: Vec<Skip>, envelope: EnvelopeStatus) -> PredictionOutcome {
+        fallback_with(self.envelope(), skips, envelope)
     }
 
     /// The GNN rung: forward pass behind the `forward` failpoint and a
@@ -538,7 +862,118 @@ fn clamp_principal(gamma: f64, beta: f64) -> (f64, f64, bool) {
     (g, b, g != gamma || b != beta)
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Applies a request's quality floor to a served outcome.
+fn enforce_floor(
+    outcome: PredictionOutcome,
+    floor: Option<Rung>,
+) -> Result<PredictionOutcome, RequestError> {
+    match floor {
+        Some(floor) if outcome.rung.quality() < floor.quality() => Err(RequestError::BelowFloor {
+            served: outcome.rung,
+            floor,
+        }),
+        _ => Ok(outcome),
+    }
+}
+
+/// Request cap checks and envelope classification against a policy + an
+/// optional envelope — no model required, so the serving loop's admission
+/// path can run it on the caller thread.
+fn admit_with(
+    config: &ServeConfig,
+    envelope: Option<&TrainingEnvelope>,
+    graph: &Graph,
+) -> Result<EnvelopeStatus, RequestError> {
+    if graph.n() > config.limits.max_nodes {
+        return Err(RequestError::TooManyNodes {
+            n: graph.n(),
+            cap: config.limits.max_nodes,
+        });
+    }
+    if graph.m() > config.limits.max_edges {
+        return Err(RequestError::TooManyEdges {
+            m: graph.m(),
+            cap: config.limits.max_edges,
+        });
+    }
+    match envelope {
+        None => Ok(EnvelopeStatus::Unknown),
+        Some(env) => match env.check(graph) {
+            Ok(()) => Ok(EnvelopeStatus::InEnvelope),
+            Err(v) if config.strict_envelope => Err(RequestError::OutOfEnvelope(v)),
+            Err(v) => Ok(EnvelopeStatus::Violated(v)),
+        },
+    }
+}
+
+/// The total fallback rung as a free function (see
+/// [`GuardedPredictor::handle`] rung 3).
+fn fallback_with(
+    envelope: Option<&TrainingEnvelope>,
+    skips: Vec<Skip>,
+    status: EnvelopeStatus,
+) -> PredictionOutcome {
+    let (gamma, beta) = envelope
+        .map(TrainingEnvelope::mean_label)
+        .unwrap_or_else(default_init);
+    let (gamma, beta, clamped) = clamp_principal(gamma, beta);
+    PredictionOutcome {
+        params: Params::new(vec![gamma], vec![beta]),
+        rung: Rung::Fallback,
+        skips,
+        envelope: status,
+        clamped,
+        verified_score: None,
+    }
+}
+
+/// The model-free shed ladder backing [`GuardedPredictor::handle_shed`]:
+/// validation and envelope accounting run as usual, the GNN rung is
+/// recorded as [`SkipReason::Shed`], and the answer comes from the cheap
+/// total rungs (fixed angles unverified — the simulator is exactly the
+/// cost shedding avoids). Needs only the policy and the envelope, not the
+/// model, so the serving loop can shed on any thread without touching a
+/// predictor (whose autodiff tape is single-threaded).
+pub(crate) fn shed_response(
+    config: &ServeConfig,
+    envelope: Option<&TrainingEnvelope>,
+    request: &ServeRequest,
+    queue_depth: usize,
+) -> ServeResponse {
+    let result = (|| {
+        let graph = match &request.payload {
+            RequestPayload::Graph(graph) => std::borrow::Cow::Borrowed(graph),
+            RequestPayload::Text(text) => std::borrow::Cow::Owned(
+                qgraph::io::graph_from_str_limited(text, &config.limits)?,
+            ),
+        };
+        let status = admit_with(config, envelope, &graph)?;
+        let mut skips = vec![Skip {
+            rung: Rung::Gnn,
+            reason: SkipReason::Shed { queue_depth },
+        }];
+        let outcome = if let Some(fa) = fixed_angle::nearest_for_graph(&graph) {
+            PredictionOutcome {
+                params: fa.params,
+                rung: Rung::FixedAngle,
+                skips,
+                envelope: status,
+                clamped: false,
+                verified_score: None,
+            }
+        } else {
+            skips.push(Skip {
+                rung: Rung::FixedAngle,
+                reason: SkipReason::NotApplicable,
+            });
+            fallback_with(envelope, skips, status)
+        };
+        enforce_floor(outcome, request.rung_floor)
+    })();
+    ServeResponse { result }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -550,6 +985,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy wrapper trio is exercised on purpose
+
     use super::*;
     use gnn::train::TrainHistory;
     use gnn::{GnnKind, GnnModel};
@@ -604,6 +1041,84 @@ mod tests {
     }
 
     #[test]
+    fn handle_graph_payload_matches_legacy_predict_exactly() {
+        let served =
+            GuardedPredictor::new(tiny_artifact(Some(wide_envelope())), ServeConfig::default());
+        let g = Graph::cycle(8).unwrap();
+        let legacy = served.predict(&g).unwrap();
+        let typed = served.handle(&ServeRequest::from_graph(g));
+        assert_eq!(typed.result.unwrap(), legacy);
+    }
+
+    #[test]
+    fn handle_text_payload_matches_legacy_predict_text_exactly() {
+        let served =
+            GuardedPredictor::new(tiny_artifact(Some(wide_envelope())), ServeConfig::default());
+        let g = Graph::cycle(6).unwrap();
+        let text = qgraph::io::graph_to_string(&g);
+        let legacy = served.predict_text(&text).unwrap();
+        let typed = served.handle(&ServeRequest::from_text(text));
+        assert_eq!(typed.result.unwrap(), legacy);
+        // Malformed text is the same typed rejection on both paths.
+        match served
+            .handle(&ServeRequest::from_text("n 3\ne 0 1 nan\n"))
+            .result
+        {
+            Err(RequestError::Parse(e)) => assert_eq!(e.line, 2),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rung_floor_turns_degraded_answers_into_typed_refusals() {
+        let served =
+            GuardedPredictor::new(tiny_artifact(Some(wide_envelope())), ServeConfig::default());
+        let g = Graph::cycle(8).unwrap();
+        // Forced degradation + a Gnn floor: refusal naming both rungs.
+        let _fault = faults::armed(faults::FORWARD, FaultAction::Nan, 1);
+        let request = ServeRequest::from_graph(g.clone()).with_rung_floor(Rung::Gnn);
+        match served.handle(&request).result {
+            Err(RequestError::BelowFloor { served, floor }) => {
+                assert_eq!(served, Rung::FixedAngle);
+                assert_eq!(floor, Rung::Gnn);
+            }
+            other => panic!("expected BelowFloor, got {other:?}"),
+        }
+        drop(_fault);
+        // A FixedAngle floor accepts a fixed-angle answer.
+        let _fault = faults::armed(faults::FORWARD, FaultAction::Nan, 1);
+        let request = ServeRequest::from_graph(g).with_rung_floor(Rung::FixedAngle);
+        let outcome = served.handle(&request).result.unwrap();
+        assert_eq!(outcome.rung, Rung::FixedAngle);
+    }
+
+    #[test]
+    fn shed_path_skips_gnn_and_serves_fixed_angles_unverified() {
+        let served =
+            GuardedPredictor::new(tiny_artifact(Some(wide_envelope())), ServeConfig::default());
+        let g = Graph::cycle(8).unwrap();
+        let response = served.handle_shed(&ServeRequest::from_graph(g), 37);
+        assert!(response.was_shed());
+        let outcome = response.result.unwrap();
+        assert_eq!(outcome.rung, Rung::FixedAngle);
+        assert_eq!(
+            outcome.skips[0],
+            Skip {
+                rung: Rung::Gnn,
+                reason: SkipReason::Shed { queue_depth: 37 },
+            }
+        );
+        assert_eq!(outcome.verified_score, None, "shed answers skip the simulator");
+        let (gamma, beta) = outcome.angles();
+        assert!(gamma.is_finite() && beta.is_finite());
+        // Edgeless: the shed ladder still answers, on the total rung.
+        let response = served.handle_shed(&ServeRequest::from_graph(Graph::empty(4).unwrap()), 2);
+        let outcome = response.result.unwrap();
+        assert_eq!(outcome.rung, Rung::Fallback);
+        assert!(outcome.was_shed());
+    }
+
+    #[test]
     fn text_request_round_trips_through_strict_parser() {
         let served =
             GuardedPredictor::new(tiny_artifact(Some(wide_envelope())), ServeConfig::default());
@@ -626,7 +1141,8 @@ mod tests {
             ..wide_envelope()
         };
         let big = Graph::cycle(10).unwrap();
-        let served = GuardedPredictor::new(tiny_artifact(Some(narrow.clone())), ServeConfig::default());
+        let served =
+            GuardedPredictor::new(tiny_artifact(Some(narrow.clone())), ServeConfig::default());
         let outcome = served.predict(&big).unwrap();
         assert_ne!(outcome.rung, Rung::Gnn);
         assert!(matches!(outcome.envelope, EnvelopeStatus::Violated(_)));
@@ -637,10 +1153,7 @@ mod tests {
 
         let strict = GuardedPredictor::new(
             tiny_artifact(Some(narrow)),
-            ServeConfig {
-                strict_envelope: true,
-                ..ServeConfig::default()
-            },
+            ServeConfig::default().with_strict_envelope(true),
         );
         match strict.predict(&big) {
             Err(RequestError::OutOfEnvelope(EnvelopeViolation::NodeCount { n: 10, .. })) => {}
@@ -661,13 +1174,10 @@ mod tests {
     fn oversized_graph_request_is_rejected_before_any_work() {
         let served = GuardedPredictor::new(
             tiny_artifact(None),
-            ServeConfig {
-                limits: ParseLimits {
-                    max_nodes: 8,
-                    ..ParseLimits::serving()
-                },
-                ..ServeConfig::default()
-            },
+            ServeConfig::default().with_limits(ParseLimits {
+                max_nodes: 8,
+                ..ParseLimits::serving()
+            }),
         );
         match served.predict(&Graph::cycle(9).unwrap()) {
             Err(RequestError::TooManyNodes { n: 9, cap: 8 }) => {}
@@ -706,5 +1216,48 @@ mod tests {
         assert!(moved);
         assert_eq!(g, 0.0);
         assert_eq!(b, std::f64::consts::FRAC_PI_2);
+    }
+
+    #[test]
+    fn rung_quality_orders_the_ladder() {
+        assert!(Rung::Gnn.quality() > Rung::FixedAngle.quality());
+        assert!(Rung::FixedAngle.quality() > Rung::Fallback.quality());
+    }
+
+    #[test]
+    fn request_builders_and_error_sources() {
+        let request = ServeRequest::from_text("n 2\ne 0 1\n")
+            .with_priority(Priority::High)
+            .with_deadline_micros(250)
+            .with_rung_floor(Rung::FixedAngle);
+        assert_eq!(request.priority, Priority::High);
+        assert_eq!(request.deadline_micros, Some(250));
+        assert_eq!(request.rung_floor, Some(Rung::FixedAngle));
+
+        // RequestError::source chains to the typed parse cause.
+        let served = GuardedPredictor::new(tiny_artifact(None), ServeConfig::default());
+        let err = served
+            .handle(&ServeRequest::from_text("bogus\n"))
+            .result
+            .unwrap_err();
+        let source = std::error::Error::source(&err).expect("parse source");
+        assert!(source.to_string().contains("line 1"), "got: {source}");
+    }
+
+    #[test]
+    fn serve_config_env_overrides_apply() {
+        // Serialized with other fault/env tests via the fault guard lock.
+        let _guard = faults::armed("serve_config_env_test", FaultAction::Error, 1);
+        std::env::set_var("QAOA_GNN_SERVE_STRICT", "1");
+        std::env::set_var("QAOA_GNN_SERVE_VERIFY_MAX_NODES", "3");
+        std::env::set_var("QAOA_GNN_SERVE_MAX_NODES", "11");
+        let config = ServeConfig::from_env();
+        std::env::remove_var("QAOA_GNN_SERVE_STRICT");
+        std::env::remove_var("QAOA_GNN_SERVE_VERIFY_MAX_NODES");
+        std::env::remove_var("QAOA_GNN_SERVE_MAX_NODES");
+        assert!(config.strict_envelope);
+        assert_eq!(config.verify_max_nodes, 3);
+        assert_eq!(config.limits.max_nodes, 11);
+        assert!(!ServeConfig::from_env().strict_envelope);
     }
 }

@@ -1,0 +1,590 @@
+//! The throughput layer: a concurrent request loop over [`GuardedPredictor`].
+//!
+//! [`crate::serve`] makes one request safe; this module makes millions of
+//! them concurrent. A [`ServeLoop`] owns a small pool of worker threads
+//! fed from one bounded queue, and layers three mechanisms on top of the
+//! degradation ladder:
+//!
+//! **Batched admission.** [`ServeLoop::submit`] enqueues a typed
+//! [`ServeRequest`] and returns a [`Ticket`] immediately; workers drain
+//! the queue in batches of [`LoopConfig::batch_size`], taking the queue
+//! lock once per batch rather than once per request and resolving the
+//! current artifact generation once per batch rather than once per
+//! request. Exactly one [`Completed`] reply exists per submitted request
+//! — the loop structurally cannot drop work, because workers refuse to
+//! exit while the queue is non-empty (even during shutdown).
+//!
+//! **Lock-free artifact hot-swap.** The active model is published through
+//! a [`qpool::swap::SwapCell`] as a `(generation, artifact)` pair.
+//! [`ServeLoop::swap_artifact`] validates a retrained [`RunArtifact`]
+//! (behind the `hot_swap` failpoint — a rejected or panicking swap leaves
+//! the old generation serving untouched) and swaps it in atomically:
+//! in-flight requests keep the `Arc` they already loaded, later batches
+//! observe the new generation and rebuild their worker-local predictor
+//! from the shared weight image. Readers never block on writers and vice
+//! versa; the memory-ordering argument lives in `qpool::swap` and is
+//! summarized in DESIGN.md §"Serving at throughput". Worker-local
+//! rebuilds are necessary, not an optimization: the autodiff tape inside
+//! [`gnn::GnnModel`] is single-threaded (`Rc<RefCell<…>>`), so threads
+//! share artifact *bytes* and each own their *model*.
+//!
+//! **Load shedding.** The queue is bounded by [`LoopConfig::queue_capacity`]
+//! and never grows past it. Between [`LoopConfig::shed_watermark`] and
+//! capacity, newly admitted [`Priority::Normal`] requests are marked to
+//! shed — served from the fixed-angle rung, recorded as
+//! [`crate::serve::SkipReason::Shed`] — while [`Priority::High`] requests
+//! keep the full ladder. At capacity, *every* new request sheds inline on
+//! the caller's own thread ([`Ticket::Ready`]), which simultaneously
+//! bounds memory and applies backpressure. A request whose
+//! [`ServeRequest::deadline_micros`] expires while queued sheds at
+//! execution time rather than being served late at full quality. Shed
+//! answers are still real answers off the ladder — degraded, accounted,
+//! never dropped.
+//!
+//! ```no_run
+//! use qaoa_gnn::serve_loop::{LoopConfig, ServeLoop};
+//! use qaoa_gnn::serve::ServeRequest;
+//! use qaoa_gnn::store::RunArtifact;
+//!
+//! let artifact = RunArtifact::load("run.artifact.json")?;
+//! let serve = ServeLoop::new(artifact, LoopConfig::default());
+//! let ticket = serve.submit(ServeRequest::from_text("n 3\ne 0 1\ne 1 2\ne 0 2\n"));
+//! let done = ticket.wait();
+//! println!("gen {}: {:?}", done.generation, done.response.result);
+//! # Ok::<(), qaoa_gnn::store::ArtifactError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use qpool::swap::SwapCell;
+
+use crate::faults;
+use crate::serve::{
+    shed_response, GuardedPredictor, Priority, RequestError, ServeConfig, ServeRequest,
+    ServeResponse,
+};
+use crate::store::RunArtifact;
+
+/// Sizing and policy for a [`ServeLoop`]. Same builder + env-override
+/// treatment as [`crate::pipeline::PipelineConfig`].
+#[derive(Debug, Clone)]
+pub struct LoopConfig {
+    /// Worker threads draining the queue. `0` resolves to
+    /// "available parallelism − 1" (leaving the submitting thread a core),
+    /// floored at 1.
+    pub workers: usize,
+    /// Hard queue bound: at this depth new requests shed inline on the
+    /// caller thread instead of enqueueing. Memory is bounded by
+    /// construction.
+    pub queue_capacity: usize,
+    /// Soft bound: at this depth newly admitted [`Priority::Normal`]
+    /// requests are marked to shed. Clamped to `queue_capacity`.
+    pub shed_watermark: usize,
+    /// Jobs a worker claims per queue-lock acquisition (also the grain at
+    /// which workers re-resolve the published artifact generation).
+    pub batch_size: usize,
+    /// Per-request serving policy handed to every worker's predictor.
+    pub serve: ServeConfig,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        LoopConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            shed_watermark: 768,
+            batch_size: 32,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+impl LoopConfig {
+    /// [`Default::default`] with environment overrides:
+    /// `QAOA_GNN_SERVE_WORKERS`, `QAOA_GNN_SERVE_QUEUE` (capacity),
+    /// `QAOA_GNN_SERVE_SHED` (watermark), `QAOA_GNN_SERVE_BATCH`, plus
+    /// everything [`ServeConfig::from_env`] reads.
+    pub fn from_env() -> Self {
+        let mut config = LoopConfig {
+            serve: ServeConfig::from_env(),
+            ..LoopConfig::default()
+        };
+        let parse = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        };
+        if let Some(workers) = parse("QAOA_GNN_SERVE_WORKERS") {
+            config.workers = workers;
+        }
+        if let Some(capacity) = parse("QAOA_GNN_SERVE_QUEUE") {
+            config.queue_capacity = capacity;
+        }
+        if let Some(watermark) = parse("QAOA_GNN_SERVE_SHED") {
+            config.shed_watermark = watermark;
+        }
+        if let Some(batch) = parse("QAOA_GNN_SERVE_BATCH") {
+            config.batch_size = batch;
+        }
+        config
+    }
+
+    /// Builder-style: sets the worker-thread count (`0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder-style: sets the hard queue capacity.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Builder-style: sets the shed watermark.
+    pub fn with_shed_watermark(mut self, shed_watermark: usize) -> Self {
+        self.shed_watermark = shed_watermark;
+        self
+    }
+
+    /// Builder-style: sets the per-worker batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder-style: sets the per-request serving policy.
+    pub fn with_serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get().saturating_sub(1))
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+/// What the [`SwapCell`] publishes: one artifact generation. Workers
+/// compare `generation` against their cached predictor's and rebuild on
+/// mismatch; the artifact bytes themselves are shared, never copied.
+struct Published {
+    generation: u64,
+    artifact: Arc<RunArtifact>,
+    serve: ServeConfig,
+}
+
+/// One finished request: the response plus its serving provenance.
+#[derive(Debug)]
+pub struct Completed {
+    /// The typed response (outcome or typed rejection — never absent).
+    pub response: ServeResponse,
+    /// Time the request spent queued before a worker picked it up
+    /// (0 for inline-shed admissions).
+    pub queued_micros: u64,
+    /// The artifact generation that answered (0-based; bumped by every
+    /// successful [`ServeLoop::swap_artifact`]).
+    pub generation: u64,
+}
+
+/// The receipt for a submitted request.
+#[derive(Debug)]
+pub enum Ticket {
+    /// Resolved synchronously at admission (inline shed at hard capacity,
+    /// or an admission-failpoint refusal).
+    Ready(Completed),
+    /// In flight; resolve with [`Ticket::wait`].
+    Pending(mpsc::Receiver<Completed>),
+}
+
+impl Ticket {
+    /// Blocks until the reply arrives. Cannot hang on a live loop: workers
+    /// drain every queued job before exiting, even at shutdown, so every
+    /// pending ticket is answered.
+    pub fn wait(self) -> Completed {
+        match self {
+            Ticket::Ready(completed) => completed,
+            Ticket::Pending(rx) => rx
+                .recv()
+                .expect("serving loop dropped a request without replying — this is a bug"),
+        }
+    }
+}
+
+/// Monotonic counters describing a loop's traffic so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Requests answered by the full ladder (outcome, not shed).
+    pub served: u64,
+    /// Requests answered via the shed path (watermark, capacity, or
+    /// deadline).
+    pub shed: u64,
+    /// Requests answered with a typed [`RequestError`].
+    pub rejected: u64,
+    /// Successful artifact hot-swaps.
+    pub swaps: u64,
+    /// High-water mark of the queue depth.
+    pub max_depth: usize,
+    /// Currently published artifact generation.
+    pub generation: u64,
+}
+
+impl LoopStats {
+    /// Total requests answered (served + shed + rejected). Equals the
+    /// number of submissions once all tickets resolve — nothing is
+    /// dropped.
+    pub fn total(&self) -> u64 {
+        self.served + self.shed + self.rejected
+    }
+}
+
+/// A queued request: what to run, how (full ladder or shed at a recorded
+/// depth), and where the reply goes.
+struct Job {
+    request: ServeRequest,
+    /// `Some(depth)` = shed (decided at admission); the depth feeds
+    /// `SkipReason::Shed`.
+    shed: Option<usize>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Completed>,
+}
+
+struct Shared {
+    cell: SwapCell<Published>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    depth: AtomicUsize,
+    shutdown: AtomicBool,
+    generation: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    swaps: AtomicU64,
+    max_depth: AtomicUsize,
+    batch_size: usize,
+}
+
+impl Shared {
+    fn record(&self, response: &ServeResponse) {
+        match &response.result {
+            Ok(outcome) if outcome.was_shed() => self.shed.fetch_add(1, SeqCst),
+            Ok(_) => self.served.fetch_add(1, SeqCst),
+            Err(_) => self.rejected.fetch_add(1, SeqCst),
+        };
+    }
+}
+
+/// The concurrent serving loop. See the module docs for the protocol;
+/// see `tests/serve_loop.rs` and `bench serve_load` for it under fire.
+pub struct ServeLoop {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    queue_capacity: usize,
+    shed_watermark: usize,
+}
+
+/// Why [`ServeLoop::swap_artifact`] refused to publish a new artifact.
+/// Either way the previous generation keeps serving, untouched.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The incoming artifact failed pre-publication validation (its model
+    /// would not rebuild), or the `hot_swap` failpoint injected an error.
+    Rejected(String),
+    /// Validation panicked; the panic was contained at the swap boundary.
+    Panicked(String),
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::Rejected(e) => write!(f, "hot-swap rejected: {e}"),
+            SwapError::Panicked(e) => write!(f, "hot-swap panicked (contained): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+impl ServeLoop {
+    /// Starts the worker pool serving `artifact` under `config`'s policy.
+    pub fn new(artifact: RunArtifact, config: LoopConfig) -> ServeLoop {
+        let queue_capacity = config.queue_capacity.max(1);
+        let shed_watermark = config.shed_watermark.min(queue_capacity);
+        let shared = Arc::new(Shared {
+            cell: SwapCell::new(Published {
+                generation: 0,
+                artifact: Arc::new(artifact),
+                serve: config.serve.clone(),
+            }),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            max_depth: AtomicUsize::new(0),
+            batch_size: config.batch_size.max(1),
+        });
+        let workers = (0..config.resolved_workers())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeLoop {
+            shared,
+            workers,
+            queue_capacity,
+            shed_watermark,
+        }
+    }
+
+    /// [`Self::new`] on an artifact loaded (and fully validated) from disk.
+    pub fn load<P: AsRef<std::path::Path>>(
+        path: P,
+        config: LoopConfig,
+    ) -> Result<ServeLoop, crate::store::ArtifactError> {
+        Ok(ServeLoop::new(RunArtifact::load(path)?, config))
+    }
+
+    /// Admits one request and returns its receipt immediately. Exactly one
+    /// [`Completed`] will exist for it:
+    ///
+    /// * queue below the watermark — enqueued for the full ladder;
+    /// * watermark ≤ depth < capacity — [`Priority::Normal`] enqueued
+    ///   marked to shed, [`Priority::High`] keeps the full ladder;
+    /// * depth at capacity — shed *inline* on the caller thread
+    ///   ([`Ticket::Ready`]); the queue never grows past its bound;
+    /// * `admission` failpoint armed — refused with
+    ///   [`RequestError::Admission`] (a contained panic reports the same
+    ///   way). Healthy saturation sheds; it never refuses.
+    pub fn submit(&self, request: ServeRequest) -> Ticket {
+        match catch_unwind(AssertUnwindSafe(|| {
+            faults::fire_may_panic(faults::ADMISSION)
+        })) {
+            Ok(None) => {}
+            Ok(Some(_)) => return self.refuse("fault injected: admission"),
+            Err(payload) => {
+                let msg = crate::serve::panic_message(&payload);
+                return self.refuse(&format!("admission panicked (contained): {msg}"));
+            }
+        }
+
+        // Reserve a slot; if the queue is hard-full, give the slot back and
+        // answer from the shed ladder right here on the caller thread —
+        // bounded memory and backpressure in one move.
+        let depth = self.shared.depth.fetch_add(1, SeqCst);
+        if depth >= self.queue_capacity {
+            self.shared.depth.fetch_sub(1, SeqCst);
+            let published = self.shared.cell.load();
+            let response = shed_response(
+                &published.serve,
+                published.artifact.envelope.as_ref(),
+                &request,
+                depth,
+            );
+            self.shared.record(&response);
+            return Ticket::Ready(Completed {
+                response,
+                queued_micros: 0,
+                generation: published.generation,
+            });
+        }
+        self.shared.max_depth.fetch_max(depth + 1, SeqCst);
+        let shed = (depth >= self.shed_watermark && request.priority == Priority::Normal)
+            .then_some(depth);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            shed,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.shared.available.notify_one();
+        Ticket::Pending(rx)
+    }
+
+    /// [`Self::submit`] + [`Ticket::wait`]: the synchronous convenience
+    /// path.
+    pub fn handle_wait(&self, request: ServeRequest) -> Completed {
+        self.submit(request).wait()
+    }
+
+    /// Atomically publishes a retrained artifact to all workers,
+    /// mid-traffic, and returns the new generation number.
+    ///
+    /// The artifact is validated *before* publication (its model must
+    /// rebuild — behind the `hot_swap` failpoint), so a broken artifact
+    /// never reaches a worker: on any [`SwapError`] the previous
+    /// generation keeps serving as if the call never happened. In-flight
+    /// requests finish on whichever generation they loaded; there is no
+    /// torn state in between (see `qpool::swap` for the proof sketch).
+    pub fn swap_artifact(&self, artifact: RunArtifact) -> Result<u64, SwapError> {
+        let validated = catch_unwind(AssertUnwindSafe(|| {
+            if faults::fire_may_panic(faults::HOT_SWAP).is_some() {
+                return Err(SwapError::Rejected("fault injected: hot_swap".to_string()));
+            }
+            artifact
+                .build_model()
+                .map_err(|e| SwapError::Rejected(e.to_string()))?;
+            Ok(artifact)
+        }));
+        let artifact = match validated {
+            Ok(Ok(artifact)) => artifact,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                return Err(SwapError::Panicked(crate::serve::panic_message(&payload)))
+            }
+        };
+        let generation = self.shared.generation.fetch_add(1, SeqCst) + 1;
+        self.shared.cell.swap(Published {
+            generation,
+            artifact: Arc::new(artifact),
+            serve: self.shared.cell.load().serve.clone(),
+        });
+        self.shared.swaps.fetch_add(1, SeqCst);
+        Ok(generation)
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> LoopStats {
+        LoopStats {
+            served: self.shared.served.load(SeqCst),
+            shed: self.shared.shed.load(SeqCst),
+            rejected: self.shared.rejected.load(SeqCst),
+            swaps: self.shared.swaps.load(SeqCst),
+            max_depth: self.shared.max_depth.load(SeqCst),
+            generation: self.shared.generation.load(SeqCst),
+        }
+    }
+
+    /// Current queue depth (queued, not yet claimed by a worker).
+    pub fn depth(&self) -> usize {
+        self.shared.depth.load(SeqCst)
+    }
+
+    /// The currently published artifact generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(SeqCst)
+    }
+
+    fn refuse(&self, message: &str) -> Ticket {
+        let response = ServeResponse {
+            result: Err(RequestError::Admission(message.to_string())),
+        };
+        self.shared.record(&response);
+        Ticket::Ready(Completed {
+            response,
+            queued_micros: 0,
+            generation: self.shared.generation.load(SeqCst),
+        })
+    }
+}
+
+impl Drop for ServeLoop {
+    /// Graceful shutdown: workers drain every queued job (answering each
+    /// ticket) before exiting. Zero drops, by construction.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, SeqCst);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One worker: claim a batch under the lock, resolve the published
+/// generation once, serve the batch lock-free, repeat. Exits only when
+/// shut down *and* the queue is empty.
+fn worker_loop(shared: &Shared) {
+    let mut cached: Option<(u64, GuardedPredictor)> = None;
+    let mut batch = Vec::with_capacity(shared.batch_size);
+    loop {
+        {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            while batch.len() < shared.batch_size {
+                match queue.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+        }
+
+        let published = shared.cell.load();
+        let stale = match &cached {
+            Some((generation, _)) => *generation != published.generation,
+            None => true,
+        };
+        if stale {
+            // Rebuild this worker's private model from the shared weight
+            // image. GuardedPredictor::shared never panics (construction
+            // is itself guarded), and a failed rebuild still serves — one
+            // rung down, accounted per request.
+            cached = Some((
+                published.generation,
+                GuardedPredictor::shared(Arc::clone(&published.artifact), published.serve.clone()),
+            ));
+        }
+        let (generation, predictor) = cached.as_ref().expect("predictor cached above");
+
+        for job in batch.drain(..) {
+            shared.depth.fetch_sub(1, SeqCst);
+            let queued_micros = job.enqueued.elapsed().as_micros() as u64;
+            // A deadline that expired while queued sheds now: a fast
+            // degraded answer beats a late full-quality one.
+            let shed = job.shed.or_else(|| {
+                job.request
+                    .deadline_micros
+                    .is_some_and(|d| queued_micros > d)
+                    .then(|| shared.depth.load(SeqCst))
+            });
+            let response = catch_unwind(AssertUnwindSafe(|| match shed {
+                Some(at_depth) => predictor.handle_shed(&job.request, at_depth),
+                None => predictor.handle(&job.request),
+            }))
+            .unwrap_or_else(|payload| ServeResponse {
+                result: Err(RequestError::Internal(crate::serve::panic_message(&payload))),
+            });
+            shared.record(&response);
+            // A dropped receiver (caller gave up on the ticket) is fine;
+            // the request was still served and counted.
+            let _ = job.reply.send(Completed {
+                response,
+                queued_micros,
+                generation: *generation,
+            });
+        }
+    }
+}

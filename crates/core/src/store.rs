@@ -492,6 +492,8 @@ impl std::fmt::Display for EnvelopeViolation {
     }
 }
 
+impl std::error::Error for EnvelopeViolation {}
+
 impl TrainingEnvelope {
     /// Computes the envelope of a (training) dataset for a model whose
     /// input width is `feature_dim`. Returns `None` for an empty dataset —
@@ -620,7 +622,16 @@ impl std::fmt::Display for ArtifactError {
     }
 }
 
-impl std::error::Error for ArtifactError {}
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Json(e) => Some(e),
+            ArtifactError::Weights(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for ArtifactError {
     fn from(e: io::Error) -> Self {

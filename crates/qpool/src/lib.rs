@@ -30,6 +30,8 @@
 
 #![warn(missing_docs)]
 
+pub mod swap;
+
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -27,6 +27,7 @@ use gnn::GnnKind;
 use qaoa::{MaxCutHamiltonian, QaoaCircuit};
 use qaoa_gnn::dataset::LabelConfig;
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
+use qaoa_gnn::serve::ServeRequest;
 use qaoa_gnn::{GuardedPredictor, RequestError, ServeConfig};
 use qgraph::generate::DatasetSpec;
 use qgraph::Graph;
@@ -85,9 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n{:<22} {:>12} {:>8}  outcome", "graph", "E[cut]", "ratio");
-    let graphs: Vec<Graph> = instances.iter().map(|(_, g)| g.clone()).collect();
-    for ((name, g), result) in instances.iter().zip(served.serve_batch(&graphs)) {
-        match result {
+    for (name, g) in &instances {
+        // One typed entry point for every payload shape; `ServeRequest`
+        // also carries per-request deadline/priority/rung-floor policy for
+        // the concurrent loop (`qaoa_gnn::ServeLoop`).
+        match served.handle(&ServeRequest::from_graph(g.clone())).result {
             Ok(outcome) if g.n() <= 16 => {
                 let circuit = QaoaCircuit::new(MaxCutHamiltonian::new(g));
                 let expectation = circuit.expectation(&outcome.params);
@@ -105,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Hostile requests never reach the model: typed, line-numbered errors.
-    match served.predict_text("n 3\ne 0 1 inf\n") {
+    match served.handle(&ServeRequest::from_text("n 3\ne 0 1 inf\n")).result {
         Err(RequestError::Parse(e)) => println!("\nhostile text rejected: {e}"),
         other => println!("\nunexpected: {other:?}"),
     }

@@ -17,7 +17,7 @@ cargo test -q --offline | tee "$test_log"
 echo "==> test-count floor"
 # The suite must never silently shrink: the floor is the passing-test
 # count at the time of the last change to it. Raise it when adding tests.
-TEST_FLOOR=602
+TEST_FLOOR=630
 total=$(grep -oE '[0-9]+ passed' "$test_log" | awk '{s+=$1} END {print s+0}')
 rm -f "$test_log"
 if [ "$total" -lt "$TEST_FLOOR" ]; then
@@ -70,5 +70,13 @@ echo "OK: saved artifacts reproduce in-memory predictions bit-exactly"
 echo "==> serving smoke (env-armed fault, degradation ladder, bit-identity)"
 cargo run --release --offline -q -p qaoa-gnn-bench --bin serve_smoke
 echo "OK: guarded serving degrades visibly and matches the raw path bit-exactly"
+
+echo "==> serve_load smoke (concurrent loop: zero drops, mid-traffic hot-swaps, bounded shed)"
+# CI-sized closed-loop + saturation-burst run. The bin itself asserts zero
+# dropped requests, zero typed rejections, all 3 hot-swaps succeeding
+# mid-traffic (≥2 artifact generations observed in responses), a bounded
+# queue, and a non-empty shed fraction under the forced-saturation burst.
+cargo run --release --offline -q -p qaoa-gnn-bench --bin serve_load -- --smoke
+echo "OK: serving loop sheds under saturation and hot-swaps without dropping requests"
 
 echo "All checks passed."

@@ -21,6 +21,7 @@ use qaoa_gnn::dataset::{
 use qaoa_gnn::faults::{self, FaultAction};
 use qaoa_gnn::pipeline::{Pipeline, PipelineConfig};
 use qaoa_gnn::store::JOURNAL_FILE;
+use qaoa_gnn::serve::ServeRequest;
 use qaoa_gnn::{
     Dataset, GuardedPredictor, LabeledGraph, Rung, RunArtifact, ServeConfig, SkipReason,
     TrainingEnvelope,
@@ -401,16 +402,16 @@ fn sim_eval_panic_under_pooled_serving_matches_serial_degradation() {
         .map(|&sim_threads| {
             let served = GuardedPredictor::new(
                 fault_test_artifact(),
-                ServeConfig {
-                    sim_threads,
-                    ..ServeConfig::default()
-                },
+                ServeConfig::default().with_sim_threads(sim_threads),
             );
             // One firing: the GNN rung's verification panics (contained),
             // the fixed-angle rung verifies cleanly on the configured
             // executor.
             let _fault = faults::armed(faults::SIM_EVAL, FaultAction::Panic, 1);
-            served.predict(&graph).unwrap()
+            served
+                .handle(&ServeRequest::from_graph(graph.clone()))
+                .result
+                .unwrap()
         })
         .collect();
 

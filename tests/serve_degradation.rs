@@ -17,6 +17,11 @@
 //! guarded prediction on a real trained artifact equals the raw
 //! `build_model().predict()` path bit-for-bit).
 
+// The legacy predict/predict_text/serve_batch wrappers are exercised here
+// on purpose: this suite pins their behavior, and tests/serve_loop.rs
+// proves them bit-identical to the typed `handle` path.
+#![allow(deprecated)]
+
 use qrand::rngs::StdRng;
 use qrand::SeedableRng;
 
