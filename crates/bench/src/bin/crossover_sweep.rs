@@ -26,7 +26,7 @@ const DEPTH: usize = 3;
 /// One deterministic paper-shaped graph per register size (mirrors the
 /// golden parallel-parity suite's generator).
 fn graph_for_size(n: usize, rng: &mut StdRng) -> Graph {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         qgraph::generate::random_regular(n, 3, rng).unwrap()
     } else {
         qgraph::generate::erdos_renyi(n, 0.5, rng).unwrap()

@@ -347,6 +347,9 @@ const RETRY_SALT: u64 = 0xc2b2_ae3d_27d4_eb4f;
 /// and pushing every completed label through `sink` (the journal hook) from
 /// the worker that produced it.
 ///
+/// Completed `(index, label)` pairs (unordered) plus recorded failures.
+type LabeledBatch = (Vec<(usize, LabeledGraph)>, Vec<LabelFailure>);
+
 /// Returns completed `(index, label)` pairs (unordered) plus the recorded
 /// failures. `sink` errors abort the batch.
 pub(crate) fn label_indices_checked(
@@ -356,14 +359,14 @@ pub(crate) fn label_indices_checked(
     config: &LabelConfig,
     seed: u64,
     sink: &(dyn Fn(usize, &LabeledGraph) -> std::io::Result<()> + Sync),
-) -> std::io::Result<(Vec<(usize, LabeledGraph)>, Vec<LabelFailure>)> {
+) -> std::io::Result<LabeledBatch> {
     if todo.is_empty() {
         return Ok((Vec::new(), Vec::new()));
     }
     let threads = worker_count(config.threads, todo.len());
     let next = AtomicUsize::new(0);
     let sink_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
-    let mut per_worker: Vec<(Vec<(usize, LabeledGraph)>, Vec<LabelFailure>)> = Vec::new();
+    let mut per_worker: Vec<LabeledBatch> = Vec::new();
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {

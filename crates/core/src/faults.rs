@@ -20,6 +20,7 @@
 //! | [`JOURNAL_IO`] | [`crate::store::LabelJournal::append`] | append fails or panics |
 //! | [`HOT_SWAP`] | [`crate::serve_loop::ServeLoop::swap_artifact`] | swap rejected (`Error`) or panics; the old artifact keeps serving |
 //! | [`ADMISSION`] | [`crate::serve_loop::ServeLoop::submit`] | request refused (`Error`) or panics at admission |
+//! | [`WORKER`] | the serve-loop worker, *outside* the per-request guard | the worker thread dies (`Panic`); the supervisor must respawn it |
 //!
 //! # Arming
 //!
@@ -41,7 +42,23 @@
 //! one NaN injection and `artifact_load` with two error injections; the
 //! armed process behaves identically on every run — injection is counted,
 //! never random. Env-armed failpoints fire on any thread.
+//!
+//! # Chaos schedules
+//!
+//! A [`FaultSchedule`] scripts *many* failures over a whole request
+//! stream: each [`ScheduledFault`] is a failpoint × action × firing window
+//! over a request-index range, with a bounded budget. The serving path
+//! tags the current request index on its thread
+//! ([`set_request_index`], set by the serve-loop worker per job), and a
+//! schedule installed with [`arm_schedule`] fires whenever a tagged
+//! request walks through a failpoint inside one of its windows. Because
+//! the windows are request-indexed (never time-based) and
+//! [`FaultSchedule::from_seed`] is a pure function of its seed, two runs
+//! of the same request stream under the same seed inject byte-identical
+//! failure sequences — the foundation of the chaos-soak determinism
+//! invariant in `tests/chaos_soak.rs`.
 
+use std::cell::Cell;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::thread::ThreadId;
 
@@ -62,9 +79,15 @@ pub const HOT_SWAP: &str = "hot_swap";
 /// Failpoint inside [`crate::serve_loop::ServeLoop::submit`]: admission
 /// refuses (`Error`) or panics (`Panic`) instead of enqueueing.
 pub const ADMISSION: &str = "admission";
+/// Failpoint in the serve-loop worker body, deliberately *outside* the
+/// per-request `catch_unwind` guard: a `Panic` firing kills the worker
+/// thread itself, exercising supervision (census, respawn, requeue) rather
+/// than per-request containment. The claimed-but-unanswered batch must be
+/// requeued and answered by a surviving or respawned worker.
+pub const WORKER: &str = "worker";
 
 /// Every failpoint name, for enumeration in tests and docs.
-pub const ALL: [&str; 7] = [
+pub const ALL: [&str; 8] = [
     ARTIFACT_LOAD,
     WEIGHT_BUILD,
     FORWARD,
@@ -72,6 +95,7 @@ pub const ALL: [&str; 7] = [
     JOURNAL_IO,
     HOT_SWAP,
     ADMISSION,
+    WORKER,
 ];
 
 /// What an armed failpoint injects when it fires.
@@ -124,6 +148,10 @@ struct Registry {
     /// Armed failpoints; empty in production (the common case is one
     /// `is_empty` check under an uncontended lock).
     armed: Vec<Armed>,
+    /// Installed chaos schedule, if any (see [`arm_schedule`]).
+    schedule: Vec<ScheduledFault>,
+    /// Scheduled firings so far, for harness assertions.
+    schedule_fired: u64,
     env_loaded: bool,
 }
 
@@ -132,9 +160,37 @@ fn registry() -> &'static Mutex<Registry> {
     REGISTRY.get_or_init(|| {
         Mutex::new(Registry {
             armed: Vec::new(),
+            schedule: Vec::new(),
+            schedule_fired: 0,
             env_loaded: false,
         })
     })
+}
+
+thread_local! {
+    /// Request index of the job currently being processed on this thread;
+    /// `u64::MAX` means "not on a request path", under which scheduled
+    /// faults never fire (so labeling, training, and unrelated tests are
+    /// invisible to an installed schedule).
+    static REQUEST_INDEX: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Tags this thread as processing the request with the given index;
+/// scheduled faults whose window contains it may now fire here. The
+/// serve-loop worker calls this per job; the admission path calls it for
+/// the index being admitted.
+pub fn set_request_index(index: u64) {
+    REQUEST_INDEX.with(|cell| cell.set(index));
+}
+
+/// Clears the request tag set by [`set_request_index`]; scheduled faults
+/// stop firing on this thread.
+pub fn clear_request_index() {
+    REQUEST_INDEX.with(|cell| cell.set(u64::MAX));
+}
+
+fn current_request_index() -> u64 {
+    REQUEST_INDEX.with(|cell| cell.get())
 }
 
 /// Locks the registry, tolerating poisoning: a failpoint whose injected
@@ -179,7 +235,7 @@ fn matches_here(armed: &Armed, name: &str) -> bool {
     armed.name == name
         && armed
             .thread
-            .map_or(true, |t| t == std::thread::current().id())
+            .is_none_or(|t| t == std::thread::current().id())
 }
 
 /// Consumes one firing of the named failpoint, if armed.
@@ -190,24 +246,51 @@ fn matches_here(armed: &Armed, name: &str) -> bool {
 pub fn fire(name: &str) -> Option<FaultAction> {
     let mut reg = lock();
     load_env(&mut reg);
-    if reg.armed.is_empty() {
+    if reg.armed.is_empty() && reg.schedule.is_empty() {
         return None;
     }
-    let idx = reg.armed.iter().position(|a| matches_here(a, name))?;
-    let action = reg.armed[idx].action;
-    reg.armed[idx].remaining -= 1;
-    if reg.armed[idx].remaining == 0 {
-        reg.armed.remove(idx);
+    if let Some(idx) = reg.armed.iter().position(|a| matches_here(a, name)) {
+        let action = reg.armed[idx].action;
+        reg.armed[idx].remaining -= 1;
+        if reg.armed[idx].remaining == 0 {
+            reg.armed.remove(idx);
+        }
+        return Some(action);
     }
-    Some(action)
+    // Chaos schedule: fires only on threads tagged with a request index
+    // inside one of its windows, spending that entry's budget.
+    let index = current_request_index();
+    if index != u64::MAX {
+        if let Some(entry) = reg
+            .schedule
+            .iter_mut()
+            .find(|e| e.matches(name, index) && e.budget > 0)
+        {
+            let action = entry.action;
+            entry.budget -= 1;
+            reg.schedule_fired += 1;
+            return Some(action);
+        }
+    }
+    None
 }
 
-/// `true` when the named failpoint is currently armed for this thread
-/// (does not consume a firing).
+/// `true` when the named failpoint is currently armed for this thread —
+/// guard-armed here, env-armed anywhere, or covered by a live schedule
+/// window for the request this thread is tagged with. Does not consume a
+/// firing.
 pub fn is_armed(name: &str) -> bool {
     let mut reg = lock();
     load_env(&mut reg);
-    reg.armed.iter().any(|a| matches_here(a, name))
+    if reg.armed.iter().any(|a| matches_here(a, name)) {
+        return true;
+    }
+    let index = current_request_index();
+    index != u64::MAX
+        && reg
+            .schedule
+            .iter()
+            .any(|e| e.matches(name, index) && e.budget > 0)
 }
 
 /// Panics with a recognizable message if the failpoint fires with
@@ -265,6 +348,161 @@ pub fn armed(name: &str, action: FaultAction, count: u64) -> FaultGuard {
     drop(reg);
     FaultGuard {
         name: name.to_string(),
+        _exclusive: exclusive,
+    }
+}
+
+/// One scripted failure window: `failpoint` fires `action` for requests
+/// whose index lies in `from_index..to_index`, at most `budget` times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Failpoint name (one of [`ALL`]).
+    pub failpoint: &'static str,
+    /// What the failpoint injects while the window is live.
+    pub action: FaultAction,
+    /// First request index (inclusive) the window covers.
+    pub from_index: u64,
+    /// One past the last request index the window covers.
+    pub to_index: u64,
+    /// Maximum firings; the entry goes quiet once spent.
+    pub budget: u64,
+}
+
+impl ScheduledFault {
+    fn matches(&self, name: &str, index: u64) -> bool {
+        self.failpoint == name && index >= self.from_index && index < self.to_index
+    }
+}
+
+/// A deterministic chaos script: a set of [`ScheduledFault`] windows over
+/// a request-index range. Install with [`arm_schedule`]; see the module
+/// docs for the firing rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// The scripted windows, in the order they were generated or pushed.
+    pub entries: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule, to be filled with [`FaultSchedule::push`].
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Adds one window (builder-style).
+    pub fn push(mut self, entry: ScheduledFault) -> FaultSchedule {
+        self.entries.push(entry);
+        self
+    }
+
+    /// Generates a chaos script for a stream of `requests` requests as a
+    /// pure function of `seed`: same seed, same script, bit for bit.
+    ///
+    /// The script spreads failure windows across every failpoint on the
+    /// serving path — worker kills ([`WORKER`], exercising supervision),
+    /// GNN-rung poison ([`FORWARD`]/[`SIM_EVAL`]/[`WEIGHT_BUILD`], enough
+    /// consecutive failures to trip the circuit breaker), hot-swap
+    /// rejections ([`HOT_SWAP`]) and admission refusals ([`ADMISSION`]) —
+    /// plus windows on the persistence failpoints ([`ARTIFACT_LOAD`],
+    /// [`JOURNAL_IO`]) for drivers that touch disk between requests. Every
+    /// window closes before `requests`, with a fault-free tail (the last
+    /// ~20% of the stream) so recovery invariants (census restored,
+    /// breaker re-closed) can be asserted at the end.
+    pub fn from_seed(seed: u64, requests: u64) -> FaultSchedule {
+        use qrand::rngs::StdRng;
+        use qrand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00c4_a05c_4a05_c4a0);
+        let mut entries = Vec::new();
+        // All windows live in the first 80% of the stream; the tail is
+        // clean so every run ends in a recovered state.
+        let horizon = (requests * 4 / 5).max(1);
+        let mut window = |failpoint: &'static str, actions: &[FaultAction], max_span: u64| {
+            let span = 1 + rng.gen_range(0..max_span.max(1));
+            let from = rng.gen_range(0..horizon.saturating_sub(span).max(1));
+            let action = actions[rng.gen_range(0..actions.len())];
+            ScheduledFault {
+                failpoint,
+                action,
+                from_index: from,
+                to_index: (from + span).min(horizon),
+                budget: 1 + rng.gen_range(0..span),
+            }
+        };
+        use FaultAction::{Error, Nan, Panic};
+        // Worker kills: a few short windows, one kill each.
+        for _ in 0..3 {
+            let mut kill = window(WORKER, &[Panic], 4);
+            kill.budget = 1;
+            entries.push(kill);
+        }
+        // GNN-rung poison: one long dense window (drives the breaker Open)
+        // plus scattered short ones.
+        let mut storm = window(FORWARD, &[Panic, Nan], horizon / 4 + 1);
+        storm.budget = storm.to_index - storm.from_index; // every request in it
+        entries.push(storm);
+        entries.push(window(FORWARD, &[Panic, Nan], 6));
+        entries.push(window(SIM_EVAL, &[Panic, Nan], 6));
+        entries.push(window(WEIGHT_BUILD, &[Panic, Error], 4));
+        // Control-plane windows.
+        entries.push(window(HOT_SWAP, &[Panic, Error], 4));
+        entries.push(window(ADMISSION, &[Error], 6));
+        // Persistence windows (fire only if the driver touches disk while
+        // tagged with an in-window request index).
+        entries.push(window(ARTIFACT_LOAD, &[Panic, Error], 4));
+        entries.push(window(JOURNAL_IO, &[Panic, Error], 4));
+        FaultSchedule { entries }
+    }
+
+    /// Sum of the remaining budgets across all windows.
+    pub fn total_budget(&self) -> u64 {
+        self.entries.iter().map(|e| e.budget).sum()
+    }
+}
+
+/// RAII guard for an installed [`FaultSchedule`]; clears it on drop.
+///
+/// Like [`FaultGuard`], holds the process-wide test mutex so chaos runs
+/// serialize against other fault-injecting tests. Unlike guard-armed
+/// failpoints, scheduled faults fire on **any** thread tagged with an
+/// in-window request index — the serve loop's workers are exactly the
+/// threads that must observe them.
+pub struct ScheduleGuard {
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl ScheduleGuard {
+    /// Scheduled firings since this schedule was installed.
+    pub fn fired(&self) -> u64 {
+        lock().schedule_fired
+    }
+
+    /// Sum of the remaining budgets of the installed schedule.
+    pub fn remaining_budget(&self) -> u64 {
+        lock().schedule.iter().map(|e| e.budget).sum()
+    }
+}
+
+impl Drop for ScheduleGuard {
+    fn drop(&mut self) {
+        let mut reg = lock();
+        reg.schedule.clear();
+        reg.schedule_fired = 0;
+    }
+}
+
+/// Installs `schedule` process-wide, returning a guard that clears it on
+/// drop. See [`ScheduleGuard`] for the concurrency contract; like
+/// [`armed`], at most one schedule (or armed failpoint) may be held at a
+/// time per thread — the mutex is non-reentrant.
+pub fn arm_schedule(schedule: FaultSchedule) -> ScheduleGuard {
+    let exclusive = test_lock()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut reg = lock();
+    reg.schedule = schedule.entries;
+    reg.schedule_fired = 0;
+    drop(reg);
+    ScheduleGuard {
         _exclusive: exclusive,
     }
 }
@@ -336,5 +574,101 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn scheduled_faults_fire_only_inside_their_window() {
+        let schedule = FaultSchedule::new().push(ScheduledFault {
+            failpoint: FORWARD,
+            action: FaultAction::Nan,
+            from_index: 10,
+            to_index: 12,
+            budget: 5,
+        });
+        let guard = arm_schedule(schedule);
+        // Untagged thread: never fires.
+        clear_request_index();
+        assert_eq!(fire(FORWARD), None);
+        // Tagged outside the window: never fires.
+        set_request_index(9);
+        assert_eq!(fire(FORWARD), None);
+        set_request_index(12);
+        assert_eq!(fire(FORWARD), None);
+        // Inside: fires, on the right failpoint only.
+        set_request_index(10);
+        assert_eq!(fire(SIM_EVAL), None);
+        assert!(is_armed(FORWARD));
+        assert_eq!(fire(FORWARD), Some(FaultAction::Nan));
+        set_request_index(11);
+        assert_eq!(fire(FORWARD), Some(FaultAction::Nan));
+        assert_eq!(guard.fired(), 2);
+        clear_request_index();
+        drop(guard);
+        // Cleared on drop.
+        set_request_index(10);
+        assert_eq!(fire(FORWARD), None);
+        clear_request_index();
+    }
+
+    #[test]
+    fn scheduled_faults_respect_their_budget() {
+        let schedule = FaultSchedule::new().push(ScheduledFault {
+            failpoint: WORKER,
+            action: FaultAction::Panic,
+            from_index: 0,
+            to_index: 100,
+            budget: 2,
+        });
+        let guard = arm_schedule(schedule);
+        set_request_index(0);
+        assert_eq!(fire(WORKER), Some(FaultAction::Panic));
+        assert_eq!(fire(WORKER), Some(FaultAction::Panic));
+        assert_eq!(fire(WORKER), None, "budget spent");
+        assert!(!is_armed(WORKER));
+        assert_eq!(guard.remaining_budget(), 0);
+        clear_request_index();
+    }
+
+    #[test]
+    fn scheduled_faults_fire_on_any_tagged_thread() {
+        let schedule = FaultSchedule::new().push(ScheduledFault {
+            failpoint: FORWARD,
+            action: FaultAction::Panic,
+            from_index: 0,
+            to_index: 1,
+            budget: 1,
+        });
+        let _guard = arm_schedule(schedule);
+        let other = std::thread::spawn(|| {
+            set_request_index(0);
+            let fired = fire(FORWARD);
+            clear_request_index();
+            fired
+        });
+        assert_eq!(other.join().unwrap(), Some(FaultAction::Panic));
+    }
+
+    #[test]
+    fn from_seed_is_a_pure_function_of_the_seed() {
+        let a = FaultSchedule::from_seed(42, 2000);
+        let b = FaultSchedule::from_seed(42, 2000);
+        let c = FaultSchedule::from_seed(43, 2000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.total_budget() > 0);
+        // Every window targets a known failpoint, stays inside the stream,
+        // and leaves the recovery tail clean.
+        for entry in &a.entries {
+            assert!(ALL.contains(&entry.failpoint));
+            assert!(entry.from_index < entry.to_index);
+            assert!(entry.to_index <= 2000 * 4 / 5);
+            assert!(entry.budget >= 1);
+        }
+        // The script covers worker kills and a breaker-tripping storm.
+        assert!(a.entries.iter().filter(|e| e.failpoint == WORKER).count() >= 3);
+        assert!(a
+            .entries
+            .iter()
+            .any(|e| e.failpoint == FORWARD && e.budget >= 4));
     }
 }

@@ -1091,6 +1091,34 @@ impl FromJson for EvaluationReport {
     }
 }
 
+impl ToJson for crate::serve_loop::LoopMetrics {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("served", Json::uint(self.served)),
+            ("shed", Json::uint(self.shed)),
+            ("rejected", Json::uint(self.rejected)),
+            ("shed_watermark", Json::uint(self.shed_watermark)),
+            ("shed_capacity", Json::uint(self.shed_capacity)),
+            ("shed_deadline", Json::uint(self.shed_deadline)),
+            ("reaped_deadline", Json::uint(self.reaped_deadline)),
+            ("breaker_open_served", Json::uint(self.breaker_open_served)),
+            ("breaker_trips", Json::uint(self.breaker_trips)),
+            ("breaker_state", Json::Str(self.breaker_state.to_string())),
+            ("swaps", Json::uint(self.swaps)),
+            ("generation", Json::uint(self.generation)),
+            ("max_depth", Json::uint(self.max_depth as u64)),
+            ("queue_depth", Json::uint(self.queue_depth as u64)),
+            ("respawns", Json::uint(self.respawns)),
+            ("workers_alive", Json::uint(self.workers_alive as u64)),
+            ("workers_target", Json::uint(self.workers_target as u64)),
+            ("rung_gnn", Json::uint(self.rung_gnn)),
+            ("rung_fixed", Json::uint(self.rung_fixed)),
+            ("rung_fallback", Json::uint(self.rung_fallback)),
+            ("health", Json::Str(self.health.to_string())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

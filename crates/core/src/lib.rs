@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod dataset;
 pub mod eval;
 pub mod faults;
@@ -54,5 +55,10 @@ pub use serve::{
     EnvelopeStatus, GuardedPredictor, PredictionOutcome, Priority, RequestError, RequestPayload,
     Rung, ServeConfig, ServeRequest, ServeResponse, Skip, SkipReason,
 };
-pub use serve_loop::{Completed, LoopConfig, LoopStats, ServeLoop, SwapError, Ticket};
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
+pub use faults::{FaultSchedule, ScheduledFault};
+pub use serve_loop::{
+    Completed, Health, HealthReason, HealthReport, LoopConfig, LoopMetrics, LoopStats, ServeLoop,
+    SwapError, Ticket, WaitTimeout,
+};
 pub use store::{ArtifactError, EnvelopeViolation, RunArtifact, TrainingEnvelope};

@@ -230,6 +230,11 @@ pub enum SkipReason {
         /// Queue depth observed at the shed decision.
         queue_depth: usize,
     },
+    /// The circuit breaker on the GNN rung is open: the model has been
+    /// failing persistently, so the rung is skipped outright (at fixed
+    /// cost) until Half-Open probes show it recovered. See
+    /// [`crate::breaker`].
+    BreakerOpen,
 }
 
 impl std::fmt::Display for SkipReason {
@@ -246,6 +251,7 @@ impl std::fmt::Display for SkipReason {
             SkipReason::Shed { queue_depth } => {
                 write!(f, "shed under load (queue depth {queue_depth})")
             }
+            SkipReason::BreakerOpen => write!(f, "circuit breaker open"),
         }
     }
 }
@@ -310,6 +316,14 @@ impl PredictionOutcome {
         self.skips
             .iter()
             .any(|s| matches!(s.reason, SkipReason::Shed { .. }))
+    }
+
+    /// `true` when the GNN rung was skipped because its circuit breaker
+    /// was open (a [`SkipReason::BreakerOpen`] hop is recorded).
+    pub fn was_breaker_skipped(&self) -> bool {
+        self.skips
+            .iter()
+            .any(|s| matches!(s.reason, SkipReason::BreakerOpen))
     }
 
     /// One-line human-readable account, e.g.
@@ -940,6 +954,25 @@ pub(crate) fn shed_response(
     request: &ServeRequest,
     queue_depth: usize,
 ) -> ServeResponse {
+    model_free_response(
+        config,
+        envelope,
+        request,
+        SkipReason::Shed { queue_depth },
+    )
+}
+
+/// The general model-free ladder: validation and envelope accounting run
+/// as usual, the GNN rung is skipped with the caller's `gnn_skip` reason
+/// (load shed, or an open circuit breaker), and the answer comes from the
+/// cheap total rungs. Backs both [`GuardedPredictor::handle_shed`] and the
+/// serve loop's breaker-open path.
+pub(crate) fn model_free_response(
+    config: &ServeConfig,
+    envelope: Option<&TrainingEnvelope>,
+    request: &ServeRequest,
+    gnn_skip: SkipReason,
+) -> ServeResponse {
     let result = (|| {
         let graph = match &request.payload {
             RequestPayload::Graph(graph) => std::borrow::Cow::Borrowed(graph),
@@ -950,7 +983,7 @@ pub(crate) fn shed_response(
         let status = admit_with(config, envelope, &graph)?;
         let mut skips = vec![Skip {
             rung: Rung::Gnn,
-            reason: SkipReason::Shed { queue_depth },
+            reason: gnn_skip,
         }];
         let outcome = if let Some(fa) = fixed_angle::nearest_for_graph(&graph) {
             PredictionOutcome {

@@ -1,9 +1,9 @@
 //! The throughput layer: a concurrent request loop over [`GuardedPredictor`].
 //!
 //! [`crate::serve`] makes one request safe; this module makes millions of
-//! them concurrent. A [`ServeLoop`] owns a small pool of worker threads
-//! fed from one bounded queue, and layers three mechanisms on top of the
-//! degradation ladder:
+//! them concurrent — and keeps the loop itself alive when its parts die. A
+//! [`ServeLoop`] owns a small pool of worker threads fed from one bounded
+//! queue, and layers six mechanisms on top of the degradation ladder:
 //!
 //! **Batched admission.** [`ServeLoop::submit`] enqueues a typed
 //! [`ServeRequest`] and returns a [`Ticket`] immediately; workers drain
@@ -12,7 +12,8 @@
 //! current artifact generation once per batch rather than once per
 //! request. Exactly one [`Completed`] reply exists per submitted request
 //! — the loop structurally cannot drop work, because workers refuse to
-//! exit while the queue is non-empty (even during shutdown).
+//! exit while the queue is non-empty (even during shutdown) and a worker
+//! that dies mid-batch requeues its unanswered claims (below).
 //!
 //! **Lock-free artifact hot-swap.** The active model is published through
 //! a [`qpool::swap::SwapCell`] as a `(generation, artifact)` pair.
@@ -41,6 +42,55 @@
 //! answers are still real answers off the ladder — degraded, accounted,
 //! never dropped.
 //!
+//! **Worker supervision.** Per-request panics are contained by the ladder
+//! and an outer `catch_unwind`, but a panic *between* requests (the
+//! `worker` failpoint models this: allocator faults, poisoned locks, bugs
+//! in the batching code itself) kills the worker thread. Each worker holds
+//! a census guard that decrements a live-worker count on *any* exit and
+//! wakes the supervisor thread; a [`BatchGuard`] pushes the worker's
+//! claimed-but-unanswered jobs back to the *front* of the queue during
+//! unwind, so nothing the dead worker held is lost. The supervisor
+//! respawns workers up to the configured target (each respawn gets a
+//! fresh generation-tagged thread name and bumps
+//! [`LoopMetrics::respawns`]), and its periodic tick also reaps queued
+//! jobs whose deadline expired while no worker picked them up — answering
+//! them shed instead of letting a stalled pool strand tickets.
+//!
+//! **Circuit breaker on the GNN rung.** Every non-shed request passes
+//! through a request-indexed [`CircuitBreaker`] (see [`crate::breaker`])
+//! keyed to the artifact generation. Persistent GNN failures (panics,
+//! NaNs, rebuild failures, verification failures) trip it Open: traffic
+//! is answered model-free at fixed cost, recorded as
+//! [`crate::serve::SkipReason::BreakerOpen`], until a deterministic
+//! schedule of Half-Open probes observes the model serving again. A
+//! hot-swap to a fresh generation resets the breaker — a retrained
+//! artifact starts with a clean record.
+//!
+//! **Health state machine.** [`ServeLoop::health`] folds the above into
+//! one observable state:
+//!
+//! ```text
+//! Starting ──first worker picks up work──► Ready ◄──────────┐
+//!                                            │              │ last reason
+//!                     any degradation reason │              │ clears
+//!                     (workers down, breaker │              │
+//!                     not closed, queue past │              ▼
+//!                     watermark, model down) └─────────► Degraded
+//!
+//!        any state ──ServeLoop dropped──► Draining (terminal)
+//! ```
+//!
+//! [`HealthReport::reasons`] lists every active cause, so "Degraded" is
+//! always attributable. [`ServeLoop::metrics`] exposes the full counter
+//! set (sheds by cause, breaker trips, respawns, per-rung counts) as a
+//! [`LoopMetrics`] snapshot serializable via `core::json`.
+//!
+//! The whole layer is deterministic under test: the chaos harness
+//! (`tests/chaos_soak.rs`, `bench chaos_soak`) drives thousands of
+//! requests under a seeded [`crate::faults::FaultSchedule`] and asserts
+//! exactly-once replies, census recovery, bounded breaker trip/recovery,
+//! and bit-identical outcome sequences across runs of the same seed.
+//!
 //! ```no_run
 //! use qaoa_gnn::serve_loop::{LoopConfig, ServeLoop};
 //! use qaoa_gnn::serve::ServeRequest;
@@ -51,6 +101,7 @@
 //! let ticket = serve.submit(ServeRequest::from_text("n 3\ne 0 1\ne 1 2\ne 0 2\n"));
 //! let done = ticket.wait();
 //! println!("gen {}: {:?}", done.generation, done.response.result);
+//! println!("health: {}", serve.health().state);
 //! # Ok::<(), qaoa_gnn::store::ArtifactError>(())
 //! ```
 
@@ -58,16 +109,23 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qpool::swap::SwapCell;
 
+use crate::breaker::{
+    BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker, GnnObservation,
+};
 use crate::faults;
 use crate::serve::{
-    shed_response, GuardedPredictor, Priority, RequestError, ServeConfig, ServeRequest,
-    ServeResponse,
+    model_free_response, shed_response, GuardedPredictor, Priority, RequestError, Rung,
+    ServeConfig, ServeRequest, ServeResponse, SkipReason,
 };
 use crate::store::RunArtifact;
+
+/// How often the supervisor wakes on its own (besides being notified by a
+/// dying worker) to respawn missing workers and reap expired deadlines.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(2);
 
 /// Sizing and policy for a [`ServeLoop`]. Same builder + env-override
 /// treatment as [`crate::pipeline::PipelineConfig`].
@@ -75,7 +133,7 @@ use crate::store::RunArtifact;
 pub struct LoopConfig {
     /// Worker threads draining the queue. `0` resolves to
     /// "available parallelism − 1" (leaving the submitting thread a core),
-    /// floored at 1.
+    /// floored at 1. The supervisor holds the pool at this census.
     pub workers: usize,
     /// Hard queue bound: at this depth new requests shed inline on the
     /// caller thread instead of enqueueing. Memory is bounded by
@@ -89,6 +147,8 @@ pub struct LoopConfig {
     pub batch_size: usize,
     /// Per-request serving policy handed to every worker's predictor.
     pub serve: ServeConfig,
+    /// Circuit-breaker policy for the GNN rung (see [`crate::breaker`]).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for LoopConfig {
@@ -99,6 +159,7 @@ impl Default for LoopConfig {
             shed_watermark: 768,
             batch_size: 32,
             serve: ServeConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -107,10 +168,12 @@ impl LoopConfig {
     /// [`Default::default`] with environment overrides:
     /// `QAOA_GNN_SERVE_WORKERS`, `QAOA_GNN_SERVE_QUEUE` (capacity),
     /// `QAOA_GNN_SERVE_SHED` (watermark), `QAOA_GNN_SERVE_BATCH`, plus
-    /// everything [`ServeConfig::from_env`] reads.
+    /// everything [`ServeConfig::from_env`] and
+    /// [`BreakerConfig::from_env`] read.
     pub fn from_env() -> Self {
         let mut config = LoopConfig {
             serve: ServeConfig::from_env(),
+            breaker: BreakerConfig::from_env(),
             ..LoopConfig::default()
         };
         let parse = |key: &str| {
@@ -163,6 +226,12 @@ impl LoopConfig {
         self
     }
 
+    /// Builder-style: sets the GNN-rung circuit-breaker policy.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
     fn resolved_workers(&self) -> usize {
         if self.workers > 0 {
             return self.workers;
@@ -202,14 +271,16 @@ pub enum Ticket {
     /// Resolved synchronously at admission (inline shed at hard capacity,
     /// or an admission-failpoint refusal).
     Ready(Completed),
-    /// In flight; resolve with [`Ticket::wait`].
+    /// In flight; resolve with [`Ticket::wait`] or
+    /// [`Ticket::wait_timeout`].
     Pending(mpsc::Receiver<Completed>),
 }
 
 impl Ticket {
     /// Blocks until the reply arrives. Cannot hang on a live loop: workers
-    /// drain every queued job before exiting, even at shutdown, so every
-    /// pending ticket is answered.
+    /// drain every queued job before exiting (even at shutdown), dead
+    /// workers' claims are requeued, and the supervisor respawns the pool
+    /// — so every pending ticket is answered.
     pub fn wait(self) -> Completed {
         match self {
             Ticket::Ready(completed) => completed,
@@ -218,7 +289,61 @@ impl Ticket {
                 .expect("serving loop dropped a request without replying — this is a bug"),
         }
     }
+
+    /// [`Self::wait`] with an upper bound: blocks at most `timeout`.
+    ///
+    /// On timeout the ticket comes back inside the [`WaitTimeout`] error,
+    /// still live — the caller can log, adjust, and wait again; the reply
+    /// (which the loop still guarantees) is never lost by timing out.
+    /// This is the caller-side seatbelt the supervisor cannot provide:
+    /// even a supervision bug can only cost a caller `timeout`, never an
+    /// unbounded hang.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitTimeout`] when no reply arrived within `timeout`.
+    // The "large" Err is the point: it carries the live ticket back to
+    // the caller so the reply is never lost by timing out.
+    #[allow(clippy::result_large_err)]
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Completed, WaitTimeout> {
+        match self {
+            Ticket::Ready(completed) => Ok(completed),
+            Ticket::Pending(rx) => match rx.recv_timeout(timeout) {
+                Ok(completed) => Ok(completed),
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(WaitTimeout {
+                    ticket: Ticket::Pending(rx),
+                    waited: timeout,
+                }),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("serving loop dropped a request without replying — this is a bug")
+                }
+            },
+        }
+    }
 }
+
+/// Typed timeout from [`Ticket::wait_timeout`]: the reply did not arrive
+/// in time, but the ticket is returned intact for another wait.
+#[derive(Debug)]
+pub struct WaitTimeout {
+    /// The still-live ticket; the loop's exactly-once reply guarantee is
+    /// unaffected by the timeout.
+    pub ticket: Ticket,
+    /// How long the call waited before giving up.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no reply within {:?}; the ticket is still live and can be waited again",
+            self.waited
+        )
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
 
 /// Monotonic counters describing a loop's traffic so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,9 +372,150 @@ impl LoopStats {
     }
 }
 
+/// Overall loop condition, folded from worker census, breaker state,
+/// queue depth, and model availability. See the module docs for the
+/// state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Workers are up but none has picked up work yet.
+    Starting,
+    /// Fully operational: full census, breaker closed, queue below the
+    /// watermark, model serving.
+    Ready,
+    /// Operational but impaired; [`HealthReport::reasons`] says why.
+    /// Every ticket is still answered.
+    Degraded,
+    /// Shutting down: draining the queue, then exiting. Terminal.
+    Draining,
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Health::Starting => write!(f, "starting"),
+            Health::Ready => write!(f, "ready"),
+            Health::Degraded => write!(f, "degraded"),
+            Health::Draining => write!(f, "draining"),
+        }
+    }
+}
+
+impl std::error::Error for Health {}
+
+/// One attributable cause of a [`Health::Degraded`] report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthReason {
+    /// Fewer workers alive than the configured target (the supervisor is
+    /// respawning).
+    WorkersDown {
+        /// Workers currently alive.
+        alive: usize,
+        /// The configured census target.
+        target: usize,
+    },
+    /// The GNN-rung circuit breaker is not Closed.
+    BreakerTripped(BreakerState),
+    /// Queue depth at or past the shed watermark: normal-priority traffic
+    /// is being shed.
+    QueueSaturated {
+        /// Current queue depth.
+        depth: usize,
+        /// The configured shed watermark.
+        watermark: usize,
+    },
+    /// The published generation's model would not rebuild; the ladder is
+    /// serving from the model-free rungs.
+    ModelUnavailable,
+}
+
+impl std::fmt::Display for HealthReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthReason::WorkersDown { alive, target } => {
+                write!(f, "workers down ({alive}/{target} alive)")
+            }
+            HealthReason::BreakerTripped(state) => write!(f, "circuit breaker {state}"),
+            HealthReason::QueueSaturated { depth, watermark } => {
+                write!(f, "queue saturated (depth {depth} ≥ watermark {watermark})")
+            }
+            HealthReason::ModelUnavailable => write!(f, "model unavailable"),
+        }
+    }
+}
+
+/// Point-in-time health snapshot from [`ServeLoop::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The folded state.
+    pub state: Health,
+    /// Every active degradation cause (empty unless `Degraded`).
+    pub reasons: Vec<HealthReason>,
+    /// Workers currently alive.
+    pub workers_alive: usize,
+    /// The configured census target.
+    pub workers_target: usize,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Current breaker state.
+    pub breaker: BreakerState,
+    /// Currently published artifact generation.
+    pub generation: u64,
+}
+
+/// Full observability snapshot from [`ServeLoop::metrics`]; serializable
+/// via `core::json` for bench tables and dashboards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopMetrics {
+    /// Requests answered by the full ladder.
+    pub served: u64,
+    /// Requests answered via the shed path (all causes).
+    pub shed: u64,
+    /// Requests answered with a typed rejection.
+    pub rejected: u64,
+    /// Sheds decided at admission by the watermark.
+    pub shed_watermark: u64,
+    /// Sheds answered inline at hard capacity.
+    pub shed_capacity: u64,
+    /// Sheds decided at execution by an expired deadline.
+    pub shed_deadline: u64,
+    /// Expired-deadline jobs reaped from the queue by the supervisor.
+    pub reaped_deadline: u64,
+    /// Requests answered model-free because the breaker was open.
+    pub breaker_open_served: u64,
+    /// Lifetime breaker trips.
+    pub breaker_trips: u64,
+    /// Current breaker state.
+    pub breaker_state: BreakerState,
+    /// Successful artifact hot-swaps.
+    pub swaps: u64,
+    /// Currently published artifact generation.
+    pub generation: u64,
+    /// High-water mark of the queue depth.
+    pub max_depth: usize,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Workers respawned by the supervisor (0 in a healthy run).
+    pub respawns: u64,
+    /// Workers currently alive.
+    pub workers_alive: usize,
+    /// The configured census target.
+    pub workers_target: usize,
+    /// Outcomes served by the GNN rung.
+    pub rung_gnn: u64,
+    /// Outcomes served by the fixed-angle rung.
+    pub rung_fixed: u64,
+    /// Outcomes served by the fallback rung.
+    pub rung_fallback: u64,
+    /// Current folded health state.
+    pub health: Health,
+}
+
 /// A queued request: what to run, how (full ladder or shed at a recorded
 /// depth), and where the reply goes.
 struct Job {
+    /// Monotone submission index (ties the chaos schedule's firing
+    /// windows to specific requests; see [`crate::faults`]).
+    index: u64,
     request: ServeRequest,
     /// `Some(depth)` = shed (decided at admission); the depth feeds
     /// `SkipReason::Shed`.
@@ -271,23 +537,71 @@ struct Shared {
     swaps: AtomicU64,
     max_depth: AtomicUsize,
     batch_size: usize,
+    // --- self-healing state ---
+    breaker: CircuitBreaker,
+    /// Monotone submission counter; assigns `Job::index`.
+    submitted: AtomicU64,
+    /// Live workers. Incremented by the *spawner* before the thread
+    /// starts (so the supervisor never double-respawns a worker that is
+    /// mid-spawn), decremented by the worker's census guard on any exit.
+    workers_alive: AtomicUsize,
+    workers_target: usize,
+    /// Set the first time any worker reaches its serving loop; gates
+    /// `Starting → Ready`.
+    ever_ready: AtomicBool,
+    /// Generation whose model rebuild last failed (`u64::MAX` = none):
+    /// feeds [`HealthReason::ModelUnavailable`].
+    model_down: AtomicU64,
+    respawns: AtomicU64,
+    reaped: AtomicU64,
+    shed_watermark_n: AtomicU64,
+    shed_capacity_n: AtomicU64,
+    shed_deadline_n: AtomicU64,
+    breaker_open_n: AtomicU64,
+    rung_gnn: AtomicU64,
+    rung_fixed: AtomicU64,
+    rung_fallback: AtomicU64,
+    /// Tag for generation-named worker threads (monotone across spawns).
+    next_spawn: AtomicU64,
+    /// Join handles for every spawned worker (initial + respawned).
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The supervisor parks here between ticks; census guards notify it.
+    supervisor_mx: Mutex<()>,
+    supervisor_cv: Condvar,
 }
 
 impl Shared {
     fn record(&self, response: &ServeResponse) {
         match &response.result {
-            Ok(outcome) if outcome.was_shed() => self.shed.fetch_add(1, SeqCst),
-            Ok(_) => self.served.fetch_add(1, SeqCst),
-            Err(_) => self.rejected.fetch_add(1, SeqCst),
-        };
+            Ok(outcome) => {
+                match outcome.rung {
+                    Rung::Gnn => self.rung_gnn.fetch_add(1, SeqCst),
+                    Rung::FixedAngle => self.rung_fixed.fetch_add(1, SeqCst),
+                    Rung::Fallback => self.rung_fallback.fetch_add(1, SeqCst),
+                };
+                if outcome.was_shed() {
+                    self.shed.fetch_add(1, SeqCst);
+                } else {
+                    self.served.fetch_add(1, SeqCst);
+                }
+            }
+            Err(_) => {
+                self.rejected.fetch_add(1, SeqCst);
+            }
+        }
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 /// The concurrent serving loop. See the module docs for the protocol;
-/// see `tests/serve_loop.rs` and `bench serve_load` for it under fire.
+/// see `tests/serve_loop.rs`, `tests/chaos_soak.rs`, and the
+/// `serve_load` / `chaos_soak` bench bins for it under fire.
 pub struct ServeLoop {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
     queue_capacity: usize,
     shed_watermark: usize,
 }
@@ -315,10 +629,12 @@ impl std::fmt::Display for SwapError {
 impl std::error::Error for SwapError {}
 
 impl ServeLoop {
-    /// Starts the worker pool serving `artifact` under `config`'s policy.
+    /// Starts the worker pool (plus its supervisor) serving `artifact`
+    /// under `config`'s policy.
     pub fn new(artifact: RunArtifact, config: LoopConfig) -> ServeLoop {
         let queue_capacity = config.queue_capacity.max(1);
         let shed_watermark = config.shed_watermark.min(queue_capacity);
+        let workers_target = config.resolved_workers();
         let shared = Arc::new(Shared {
             cell: SwapCell::new(Published {
                 generation: 0,
@@ -336,19 +652,39 @@ impl ServeLoop {
             swaps: AtomicU64::new(0),
             max_depth: AtomicUsize::new(0),
             batch_size: config.batch_size.max(1),
+            breaker: CircuitBreaker::new(config.breaker.clone()),
+            submitted: AtomicU64::new(0),
+            workers_alive: AtomicUsize::new(0),
+            workers_target,
+            ever_ready: AtomicBool::new(false),
+            model_down: AtomicU64::new(u64::MAX),
+            respawns: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            shed_watermark_n: AtomicU64::new(0),
+            shed_capacity_n: AtomicU64::new(0),
+            shed_deadline_n: AtomicU64::new(0),
+            breaker_open_n: AtomicU64::new(0),
+            rung_gnn: AtomicU64::new(0),
+            rung_fixed: AtomicU64::new(0),
+            rung_fallback: AtomicU64::new(0),
+            next_spawn: AtomicU64::new(0),
+            handles: Mutex::new(Vec::new()),
+            supervisor_mx: Mutex::new(()),
+            supervisor_cv: Condvar::new(),
         });
-        let workers = (0..config.resolved_workers())
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        for _ in 0..workers_target {
+            spawn_worker(&shared);
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared))
+                .expect("spawn serve supervisor")
+        };
         ServeLoop {
             shared,
-            workers,
+            supervisor: Some(supervisor),
             queue_capacity,
             shed_watermark,
         }
@@ -374,6 +710,11 @@ impl ServeLoop {
     ///   [`RequestError::Admission`] (a contained panic reports the same
     ///   way). Healthy saturation sheds; it never refuses.
     pub fn submit(&self, request: ServeRequest) -> Ticket {
+        // Tag the submitting thread with this request's index so a chaos
+        // schedule can target admission (and anything else the caller does
+        // between submissions, e.g. hot-swaps) by request index.
+        let index = self.shared.submitted.fetch_add(1, SeqCst);
+        faults::set_request_index(index);
         match catch_unwind(AssertUnwindSafe(|| {
             faults::fire_may_panic(faults::ADMISSION)
         })) {
@@ -398,6 +739,7 @@ impl ServeLoop {
                 &request,
                 depth,
             );
+            self.shared.shed_capacity_n.fetch_add(1, SeqCst);
             self.shared.record(&response);
             return Ticket::Ready(Completed {
                 response,
@@ -408,18 +750,18 @@ impl ServeLoop {
         self.shared.max_depth.fetch_max(depth + 1, SeqCst);
         let shed = (depth >= self.shed_watermark && request.priority == Priority::Normal)
             .then_some(depth);
+        if shed.is_some() {
+            self.shared.shed_watermark_n.fetch_add(1, SeqCst);
+        }
         let (tx, rx) = mpsc::channel();
         let job = Job {
+            index,
             request,
             shed,
             enqueued: Instant::now(),
             reply: tx,
         };
-        self.shared
-            .queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push_back(job);
+        self.shared.lock_queue().push_back(job);
         self.shared.available.notify_one();
         Ticket::Pending(rx)
     }
@@ -439,6 +781,8 @@ impl ServeLoop {
     /// generation keeps serving as if the call never happened. In-flight
     /// requests finish on whichever generation they loaded; there is no
     /// torn state in between (see `qpool::swap` for the proof sketch).
+    /// A successful swap also resets the GNN circuit breaker: the fresh
+    /// generation starts with a clean failure record.
     pub fn swap_artifact(&self, artifact: RunArtifact) -> Result<u64, SwapError> {
         let validated = catch_unwind(AssertUnwindSafe(|| {
             if faults::fire_may_panic(faults::HOT_SWAP).is_some() {
@@ -463,6 +807,7 @@ impl ServeLoop {
             serve: self.shared.cell.load().serve.clone(),
         });
         self.shared.swaps.fetch_add(1, SeqCst);
+        self.shared.breaker.reset_for_generation(generation);
         Ok(generation)
     }
 
@@ -476,6 +821,96 @@ impl ServeLoop {
             max_depth: self.shared.max_depth.load(SeqCst),
             generation: self.shared.generation.load(SeqCst),
         }
+    }
+
+    /// Full observability snapshot (sheds by cause, breaker, census,
+    /// per-rung counts); serialize with `core::json`'s `ToJson`.
+    pub fn metrics(&self) -> LoopMetrics {
+        let shared = &self.shared;
+        let breaker = shared.breaker.snapshot();
+        LoopMetrics {
+            served: shared.served.load(SeqCst),
+            shed: shared.shed.load(SeqCst),
+            rejected: shared.rejected.load(SeqCst),
+            shed_watermark: shared.shed_watermark_n.load(SeqCst),
+            shed_capacity: shared.shed_capacity_n.load(SeqCst),
+            shed_deadline: shared.shed_deadline_n.load(SeqCst),
+            reaped_deadline: shared.reaped.load(SeqCst),
+            breaker_open_served: shared.breaker_open_n.load(SeqCst),
+            breaker_trips: breaker.trips,
+            breaker_state: breaker.state,
+            swaps: shared.swaps.load(SeqCst),
+            generation: shared.generation.load(SeqCst),
+            max_depth: shared.max_depth.load(SeqCst),
+            queue_depth: shared.depth.load(SeqCst),
+            respawns: shared.respawns.load(SeqCst),
+            workers_alive: shared.workers_alive.load(SeqCst),
+            workers_target: shared.workers_target,
+            rung_gnn: shared.rung_gnn.load(SeqCst),
+            rung_fixed: shared.rung_fixed.load(SeqCst),
+            rung_fallback: shared.rung_fallback.load(SeqCst),
+            health: self.health().state,
+        }
+    }
+
+    /// Folds census, breaker, queue, and model availability into the
+    /// `Starting → Ready ⇄ Degraded → Draining` state machine (module
+    /// docs have the diagram). Every `Degraded` report carries its
+    /// reasons.
+    pub fn health(&self) -> HealthReport {
+        let shared = &self.shared;
+        let generation = shared.generation.load(SeqCst);
+        let breaker = shared.breaker.state();
+        let queue_depth = shared.depth.load(SeqCst);
+        let workers_alive = shared.workers_alive.load(SeqCst);
+        let workers_target = shared.workers_target;
+        let mut reasons = Vec::new();
+        let state = if shared.shutdown.load(SeqCst) {
+            Health::Draining
+        } else if !shared.ever_ready.load(SeqCst) {
+            Health::Starting
+        } else {
+            if workers_alive < workers_target {
+                reasons.push(HealthReason::WorkersDown {
+                    alive: workers_alive,
+                    target: workers_target,
+                });
+            }
+            if breaker != BreakerState::Closed {
+                reasons.push(HealthReason::BreakerTripped(breaker));
+            }
+            if queue_depth >= self.shed_watermark {
+                reasons.push(HealthReason::QueueSaturated {
+                    depth: queue_depth,
+                    watermark: self.shed_watermark,
+                });
+            }
+            if shared.model_down.load(SeqCst) == generation {
+                reasons.push(HealthReason::ModelUnavailable);
+            }
+            if reasons.is_empty() {
+                Health::Ready
+            } else {
+                Health::Degraded
+            }
+        };
+        HealthReport {
+            state,
+            reasons,
+            workers_alive,
+            workers_target,
+            queue_depth,
+            breaker,
+            generation,
+        }
+    }
+
+    /// Reaps queued jobs whose deadline already expired, answering each
+    /// shed. The supervisor calls this on every tick; it is public so
+    /// tests (and embedders driving their own supervision) can force a
+    /// reap deterministically. Returns how many jobs were reaped.
+    pub fn reap_expired(&self) -> usize {
+        reap_expired(&self.shared)
     }
 
     /// Current queue depth (queued, not yet claimed by a worker).
@@ -503,25 +938,224 @@ impl ServeLoop {
 
 impl Drop for ServeLoop {
     /// Graceful shutdown: workers drain every queued job (answering each
-    /// ticket) before exiting. Zero drops, by construction.
+    /// ticket) before exiting; if every worker died right before shutdown,
+    /// the caller thread drains the remainder inline. Zero drops, by
+    /// construction.
     fn drop(&mut self) {
         self.shared.shutdown.store(true, SeqCst);
         self.shared.available.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        self.shared.supervisor_cv.notify_all();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
+        loop {
+            let handles = std::mem::take(
+                &mut *self
+                    .shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+        // All workers have exited (normally, or by a late kill whose
+        // claimed jobs were requeued by the batch guard). Anything still
+        // queued is answered here, inline; `worker` faults can still fire
+        // but their budgets are finite, so the retry loop terminates. The
+        // census pre-increment balances the inline census guard.
+        while !self.shared.lock_queue().is_empty() {
+            self.shared.workers_alive.fetch_add(1, SeqCst);
+            let _ = catch_unwind(AssertUnwindSafe(|| worker_loop(&self.shared)));
+        }
+    }
+}
+
+/// Spawns one worker thread, pre-counting it in the census (so the
+/// supervisor never double-spawns while a thread is mid-start). The
+/// thread name carries a monotone spawn tag: a respawned worker is
+/// distinguishable from the one it replaced.
+fn spawn_worker(shared: &Arc<Shared>) {
+    shared.workers_alive.fetch_add(1, SeqCst);
+    let tag = shared.next_spawn.fetch_add(1, SeqCst);
+    let cloned = Arc::clone(shared);
+    match std::thread::Builder::new()
+        .name(format!("serve-worker-g{tag}"))
+        .spawn(move || worker_loop(&cloned))
+    {
+        Ok(handle) => shared
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle),
+        Err(_) => {
+            // Spawn failure (resource exhaustion): uncount; the next
+            // supervisor tick retries.
+            shared.workers_alive.fetch_sub(1, SeqCst);
+        }
+    }
+}
+
+/// The supervisor: respawns dead workers up to the census target and
+/// reaps expired-deadline jobs no worker has claimed. Runs until
+/// shutdown; woken early by any dying worker's census guard.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let mut parked = shared
+        .supervisor_mx
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    while !shared.shutdown.load(SeqCst) {
+        let alive = shared.workers_alive.load(SeqCst);
+        if alive < shared.workers_target {
+            for _ in alive..shared.workers_target {
+                shared.respawns.fetch_add(1, SeqCst);
+                spawn_worker(shared);
+            }
+            // New workers check the queue before parking, but wake any
+            // veteran that parked while the pool was short-handed.
+            shared.available.notify_all();
+        }
+        reap_expired(shared);
+        let (guard, _timeout) = shared
+            .supervisor_cv
+            .wait_timeout(parked, SUPERVISOR_TICK)
+            .unwrap_or_else(|e| e.into_inner());
+        parked = guard;
+    }
+}
+
+/// Removes queued jobs whose deadline expired and answers each shed —
+/// the supervisor's guarantee that a stalled pool cannot strand a
+/// deadline-bearing ticket past its deadline for long.
+fn reap_expired(shared: &Shared) -> usize {
+    let mut expired = Vec::new();
+    {
+        let mut queue = shared.lock_queue();
+        let mut i = 0;
+        while i < queue.len() {
+            let overdue = {
+                let job = &queue[i];
+                job.request
+                    .deadline_micros
+                    .is_some_and(|d| job.enqueued.elapsed().as_micros() as u64 > d)
+            };
+            if overdue {
+                expired.push(queue.remove(i).expect("index checked"));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if expired.is_empty() {
+        return 0;
+    }
+    let published = shared.cell.load();
+    let count = expired.len();
+    for job in expired {
+        shared.depth.fetch_sub(1, SeqCst);
+        let queued_micros = job.enqueued.elapsed().as_micros() as u64;
+        let response = shed_response(
+            &published.serve,
+            published.artifact.envelope.as_ref(),
+            &job.request,
+            shared.depth.load(SeqCst),
+        );
+        shared.reaped.fetch_add(1, SeqCst);
+        shared.record(&response);
+        let _ = job.reply.send(Completed {
+            response,
+            queued_micros,
+            generation: published.generation,
+        });
+    }
+    count
+}
+
+/// Census bookkeeping for one worker thread: decrements the live count on
+/// *any* exit — normal shutdown or a panic unwinding the worker — and
+/// wakes the supervisor so a death is noticed immediately, not at the
+/// next tick.
+struct CensusGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for CensusGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.workers_alive.fetch_sub(1, SeqCst);
+        self.shared.supervisor_cv.notify_all();
+    }
+}
+
+/// Holds a worker's claimed batch. If the worker dies mid-batch (a panic
+/// outside the per-request guard — the `worker` failpoint models this),
+/// the unanswered jobs go back to the *front* of the queue in their
+/// original order, depth reservations intact, for the next worker to
+/// claim. This is what makes worker death lossless.
+struct BatchGuard<'a> {
+    shared: &'a Shared,
+    jobs: VecDeque<Job>,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        if self.jobs.is_empty() {
+            return;
+        }
+        let mut queue = self.shared.lock_queue();
+        while let Some(job) = self.jobs.pop_back() {
+            queue.push_front(job);
+        }
+        drop(queue);
+        self.shared.available.notify_all();
+    }
+}
+
+/// Classifies a response for the circuit breaker: what did the GNN rung
+/// actually do? Envelope refusals, parse rejections, and sheds carry no
+/// signal about the model; panics that escaped the ladder entirely
+/// ([`RequestError::Internal`]) are failures.
+fn gnn_observation(response: &ServeResponse) -> GnnObservation {
+    match &response.result {
+        Ok(outcome) => {
+            if outcome.rung == Rung::Gnn {
+                return GnnObservation::Served;
+            }
+            for skip in &outcome.skips {
+                if skip.rung == Rung::Gnn {
+                    return match &skip.reason {
+                        SkipReason::Panicked
+                        | SkipReason::NonFinite { .. }
+                        | SkipReason::ModelUnavailable(_)
+                        | SkipReason::VerificationFailed => GnnObservation::Failed,
+                        _ => GnnObservation::NotAttempted,
+                    };
+                }
+            }
+            GnnObservation::NotAttempted
+        }
+        Err(RequestError::Internal(_)) => GnnObservation::Failed,
+        Err(_) => GnnObservation::NotAttempted,
     }
 }
 
 /// One worker: claim a batch under the lock, resolve the published
 /// generation once, serve the batch lock-free, repeat. Exits only when
-/// shut down *and* the queue is empty.
+/// shut down *and* the queue is empty; a mid-batch death requeues its
+/// claims (see [`BatchGuard`]).
 fn worker_loop(shared: &Shared) {
+    let _census = CensusGuard { shared };
     let mut cached: Option<(u64, GuardedPredictor)> = None;
-    let mut batch = Vec::with_capacity(shared.batch_size);
     loop {
+        let mut guard = BatchGuard {
+            shared,
+            jobs: VecDeque::new(),
+        };
         {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut queue = shared.lock_queue();
             loop {
                 if !queue.is_empty() {
                     break;
@@ -534,56 +1168,132 @@ fn worker_loop(shared: &Shared) {
                     .wait(queue)
                     .unwrap_or_else(|e| e.into_inner());
             }
-            while batch.len() < shared.batch_size {
+            while guard.jobs.len() < shared.batch_size {
                 match queue.pop_front() {
-                    Some(job) => batch.push(job),
+                    Some(job) => guard.jobs.push_back(job),
                     None => break,
                 }
             }
         }
+        shared.ever_ready.store(true, SeqCst);
 
         let published = shared.cell.load();
         let stale = match &cached {
             Some((generation, _)) => *generation != published.generation,
             None => true,
         };
+        // Rebuild this worker's private model from the shared weight
+        // image. GuardedPredictor::shared never panics (construction is
+        // itself guarded), and a failed rebuild still serves — one rung
+        // down, accounted per request. A *broken* rebuild is deliberately
+        // not cached: the next batch retries it, so a transient build
+        // fault (chaos, OOM) heals instead of pinning the worker
+        // model-free until the next swap. Outcomes then depend only on
+        // the request index and fault budgets — not on which worker
+        // happened to serve — which the chaos determinism test relies on.
+        let mut scratch: Option<GuardedPredictor> = None;
         if stale {
-            // Rebuild this worker's private model from the shared weight
-            // image. GuardedPredictor::shared never panics (construction
-            // is itself guarded), and a failed rebuild still serves — one
-            // rung down, accounted per request.
-            cached = Some((
-                published.generation,
-                GuardedPredictor::shared(Arc::clone(&published.artifact), published.serve.clone()),
-            ));
+            let predictor = GuardedPredictor::shared(
+                Arc::clone(&published.artifact),
+                published.serve.clone(),
+            );
+            if predictor.model_available() {
+                let _ = shared.model_down.compare_exchange(
+                    published.generation,
+                    u64::MAX,
+                    SeqCst,
+                    SeqCst,
+                );
+                cached = Some((published.generation, predictor));
+            } else {
+                shared.model_down.store(published.generation, SeqCst);
+                cached = None;
+                scratch = Some(predictor);
+            }
         }
-        let (generation, predictor) = cached.as_ref().expect("predictor cached above");
+        let generation = published.generation;
+        let predictor = scratch
+            .as_ref()
+            .or_else(|| cached.as_ref().map(|(_, p)| p))
+            .expect("predictor resolved above");
 
-        for job in batch.drain(..) {
+        while let Some(index) = guard.jobs.front().map(|job| job.index) {
+            // Tag the thread, then give the `worker` failpoint its shot
+            // *before* popping: if it kills this thread, the job is still
+            // in the batch guard and gets requeued, unanswered — the
+            // exactly-once guarantee survives worker death.
+            faults::set_request_index(index);
+            faults::fire_may_panic(faults::WORKER);
+            let job = guard.jobs.pop_front().expect("front checked above");
             shared.depth.fetch_sub(1, SeqCst);
             let queued_micros = job.enqueued.elapsed().as_micros() as u64;
             // A deadline that expired while queued sheds now: a fast
             // degraded answer beats a late full-quality one.
-            let shed = job.shed.or_else(|| {
-                job.request
+            let deadline_expired = job.shed.is_none()
+                && job
+                    .request
                     .deadline_micros
-                    .is_some_and(|d| queued_micros > d)
-                    .then(|| shared.depth.load(SeqCst))
-            });
-            let response = catch_unwind(AssertUnwindSafe(|| match shed {
-                Some(at_depth) => predictor.handle_shed(&job.request, at_depth),
-                None => predictor.handle(&job.request),
-            }))
-            .unwrap_or_else(|payload| ServeResponse {
-                result: Err(RequestError::Internal(crate::serve::panic_message(&payload))),
-            });
+                    .is_some_and(|d| queued_micros > d);
+            if deadline_expired {
+                shared.shed_deadline_n.fetch_add(1, SeqCst);
+            }
+            let shed = job
+                .shed
+                .or_else(|| deadline_expired.then(|| shared.depth.load(SeqCst)));
+            let response = match shed {
+                Some(at_depth) => catch_unwind(AssertUnwindSafe(|| {
+                    predictor.handle_shed(&job.request, at_depth)
+                }))
+                .unwrap_or_else(|payload| ServeResponse {
+                    result: Err(RequestError::Internal(crate::serve::panic_message(
+                        &payload,
+                    ))),
+                }),
+                None => {
+                    // Full-ladder path: consult the breaker first. Open →
+                    // answer model-free at fixed cost; Closed/Probe → run
+                    // the ladder and report what the GNN rung did.
+                    let decision = shared.breaker.admit(generation);
+                    match decision {
+                        BreakerDecision::Skip => {
+                            shared.breaker_open_n.fetch_add(1, SeqCst);
+                            catch_unwind(AssertUnwindSafe(|| {
+                                model_free_response(
+                                    &published.serve,
+                                    published.artifact.envelope.as_ref(),
+                                    &job.request,
+                                    SkipReason::BreakerOpen,
+                                )
+                            }))
+                            .unwrap_or_else(|payload| ServeResponse {
+                                result: Err(RequestError::Internal(
+                                    crate::serve::panic_message(&payload),
+                                )),
+                            })
+                        }
+                        BreakerDecision::Full | BreakerDecision::Probe => {
+                            let response =
+                                catch_unwind(AssertUnwindSafe(|| predictor.handle(&job.request)))
+                                    .unwrap_or_else(|payload| ServeResponse {
+                                        result: Err(RequestError::Internal(
+                                            crate::serve::panic_message(&payload),
+                                        )),
+                                    });
+                            shared
+                                .breaker
+                                .record(generation, decision, gnn_observation(&response));
+                            response
+                        }
+                    }
+                }
+            };
             shared.record(&response);
             // A dropped receiver (caller gave up on the ticket) is fine;
             // the request was still served and counted.
             let _ = job.reply.send(Completed {
                 response,
                 queued_micros,
-                generation: *generation,
+                generation,
             });
         }
     }

@@ -281,6 +281,7 @@ impl LabelJournal {
         };
         let mut file = fs::OpenOptions::new()
             .create(true)
+            .truncate(false)
             .read(true)
             .write(true)
             .open(&journal_path)?;
@@ -347,10 +348,7 @@ impl LabelJournal {
     /// one (a silently broken journal would defeat the checkpoint).
     pub fn append(&mut self, index: usize, entry: &LabeledGraph) -> io::Result<()> {
         if faults::fire_may_panic(faults::JOURNAL_IO).is_some() {
-            return Err(io::Error::new(
-                io::ErrorKind::Other,
-                "fault injected: journal_io",
-            ));
+            return Err(io::Error::other("fault injected: journal_io"));
         }
         qgraph::io::write_graph(&entry.graph, self.dir.join(graph_file_name(index)))?;
         self.file.write_all(journal_line(index, entry).as_bytes())?;
@@ -835,8 +833,7 @@ impl RunArtifact {
     /// not fit the declared architecture.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<RunArtifact, ArtifactError> {
         if faults::fire_may_panic(faults::ARTIFACT_LOAD).is_some() {
-            return Err(ArtifactError::Io(io::Error::new(
-                io::ErrorKind::Other,
+            return Err(ArtifactError::Io(io::Error::other(
                 "fault injected: artifact_load",
             )));
         }

@@ -145,7 +145,7 @@ impl<'c> Evaluator<'c> {
     /// Panics if `flat` is empty or has odd length.
     pub fn expectation_flat(&mut self, flat: &[f64]) -> f64 {
         assert!(
-            !flat.is_empty() && flat.len() % 2 == 0,
+            !flat.is_empty() && flat.len().is_multiple_of(2),
             "flat parameter layout must be [gammas.., betas..] with even length"
         );
         let p = flat.len() / 2;

@@ -620,9 +620,9 @@ impl<M: Maximizer> Maximizer for MultiStart<M> {
 fn make_monotone(history: &mut [f64]) {
     for i in 1..history.len() {
         let prev = history[i - 1];
-        // `!(x >= prev)` is true for both "strictly less" and "x is NaN";
-        // a NaN prev is never copied forward over a finite entry.
-        if prev.is_finite() && !(history[i] >= prev) {
+        // Overwrite both "strictly less" and NaN entries; a NaN prev is
+        // never copied forward over a finite entry.
+        if prev.is_finite() && (history[i] < prev || history[i].is_nan()) {
             history[i] = prev;
         }
     }

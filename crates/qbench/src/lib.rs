@@ -194,9 +194,9 @@ impl Bench {
         &mut self,
         group: &str,
         input: I,
-        mut body: impl FnMut() -> T,
+        body: impl FnMut() -> T,
     ) -> Option<&Stats> {
-        self.bench(&format!("{group}/{input}"), move || body())
+        self.bench(&format!("{group}/{input}"), body)
     }
 
     /// All collected results.

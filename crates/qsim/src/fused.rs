@@ -203,8 +203,8 @@ fn rx_single_sweep(
             let mut a0 = Complex::new(re[i0], im[i0]);
             let mut a1 = Complex::new(re[i1], im[i1]);
             if let Some((values, gamma)) = phase {
-                a0 = a0 * Complex::cis(-gamma * values[i0]);
-                a1 = a1 * Complex::cis(-gamma * values[i1]);
+                a0 *= Complex::cis(-gamma * values[i0]);
+                a1 *= Complex::cis(-gamma * values[i1]);
             }
             let y0 = c * a0 + s * a1;
             let y1 = s * a0 + c * a1;

@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> offline release build (all targets)"
 cargo build --release --offline --all-targets
 
+echo "==> clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
 echo "==> offline test suite"
 test_log=$(mktemp)
 cargo test -q --offline | tee "$test_log"
@@ -17,7 +20,7 @@ cargo test -q --offline | tee "$test_log"
 echo "==> test-count floor"
 # The suite must never silently shrink: the floor is the passing-test
 # count at the time of the last change to it. Raise it when adding tests.
-TEST_FLOOR=630
+TEST_FLOOR=657
 total=$(grep -oE '[0-9]+ passed' "$test_log" | awk '{s+=$1} END {print s+0}')
 rm -f "$test_log"
 if [ "$total" -lt "$TEST_FLOOR" ]; then
@@ -78,5 +81,13 @@ echo "==> serve_load smoke (concurrent loop: zero drops, mid-traffic hot-swaps, 
 # queue, and a non-empty shed fraction under the forced-saturation burst.
 cargo run --release --offline -q -p qaoa-gnn-bench --bin serve_load -- --smoke
 echo "OK: serving loop sheds under saturation and hot-swaps without dropping requests"
+
+echo "==> chaos smoke (seeded fault schedule: kills, breaker trips, bit-identical replay)"
+# Two CI-sized soaks of the same seed under a scripted fault schedule. The
+# bin itself asserts exactly-once replies, census restoration after worker
+# kills, the breaker tripping and re-closing inside the run, a Ready end
+# state, and a bit-identical outcome digest across both runs.
+cargo run --release --offline -q -p qaoa-gnn-bench --bin chaos_soak -- --smoke
+echo "OK: self-healing loop survives scripted chaos deterministically"
 
 echo "All checks passed."

@@ -1,0 +1,539 @@
+//! The deterministic chaos-soak harness: a seeded [`FaultSchedule`] is
+//! armed process-wide and a single driver pushes a numbered request
+//! stream through a live [`ServeLoop`] while workers are killed, the GNN
+//! rung is poisoned (tripping the circuit breaker), hot-swaps are
+//! refused, admissions error, and persistence hiccups — all scripted as
+//! pure functions of one seed. The invariants under fire:
+//!
+//! - **Exactly once**: every submitted ticket resolves with exactly one
+//!   reply; `stats().total()` equals the submission count; nothing is
+//!   dropped or double-answered (a double answer would panic the reply
+//!   channel).
+//! - **Census restored**: after every worker kill the supervisor respawns
+//!   the pool back to its target before the run ends.
+//! - **Breaker bounded**: the poison storm trips the breaker Open within
+//!   its failure window, open-state requests are answered model-free
+//!   (`SkipReason::BreakerOpen`, fixed cost), and the clean tail re-closes
+//!   it within cooldown + probe requests — all counted in requests, never
+//!   wall time.
+//! - **Bit-identical**: two runs of the same seed produce the same
+//!   outcome fingerprints (rung, skips, angle bits, generation, envelope,
+//!   verification bits), the same counters, and the same fault firings.
+//!
+//! Every test here arms a schedule (possibly empty) to hold the
+//! process-wide fault lock: scheduled faults fire on *any* tagged thread,
+//! so chaos tests must never overlap another loop's workers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use qrand::rngs::StdRng;
+use qrand::SeedableRng;
+
+use gnn::train::TrainHistory;
+use gnn::{GnnKind, GnnModel};
+use qaoa_gnn::dataset::LabelReport;
+use qaoa_gnn::faults::{self, FaultAction, FaultSchedule, ScheduledFault};
+use qaoa_gnn::pipeline::PipelineConfig;
+use qaoa_gnn::serve_loop::{Completed, LoopConfig, ServeLoop};
+use qaoa_gnn::{
+    BreakerConfig, BreakerState, Health, HealthReason, Json, Rung, RunArtifact, ServeRequest,
+    ToJson, TrainingEnvelope,
+};
+use qgraph::Graph;
+
+/// Same cheap fixture as `tests/serve_loop.rs`: valid weights seeded by
+/// `seed`, wide envelope.
+fn artifact(seed: u64) -> RunArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = gnn::ModelConfig {
+        hidden_dim: 4,
+        ..gnn::ModelConfig::default()
+    };
+    let model = GnnModel::new(GnnKind::Gcn, config, &mut rng);
+    RunArtifact {
+        config: PipelineConfig::quick(),
+        weights: model.export_weights(),
+        history: TrainHistory::default(),
+        label_report: LabelReport::clean(1),
+        dataset_fingerprint: seed,
+        envelope: Some(TrainingEnvelope {
+            min_nodes: 2,
+            max_nodes: 15,
+            max_degree: 14,
+            feature_dim: 16,
+            mean_gamma: 1.0,
+            mean_beta: 0.5,
+        }),
+    }
+}
+
+/// A breaker sized for request-count tests: trips after 4 failures in a
+/// window of 8, recovers within ~cooldown(8)+2·probe_interval(2) clean
+/// requests.
+fn tight_breaker() -> BreakerConfig {
+    BreakerConfig::default()
+        .with_window(8)
+        .with_min_samples(4)
+        .with_failure_threshold(0.5)
+        .with_cooldown(8)
+        .with_max_cooldown(32)
+        .with_probe_interval(2)
+        .with_probe_successes(2)
+}
+
+fn chaos_loop(seed: u64) -> ServeLoop {
+    ServeLoop::new(
+        artifact(seed),
+        LoopConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(64)
+            .with_shed_watermark(64)
+            .with_batch_size(4)
+            .with_breaker(tight_breaker()),
+    )
+}
+
+/// Everything observable about one reply that must be bit-identical
+/// across runs of the same seed — provenance and payload, never timing.
+fn fingerprint(index: u64, done: &Completed) -> String {
+    match &done.response.result {
+        Ok(outcome) => {
+            let (gamma, beta) = outcome.angles();
+            format!(
+                "{index} g{} rung={:?} skips={:?} env={:?} clamped={} score={:?} γ={:016x} β={:016x}",
+                done.generation,
+                outcome.rung,
+                outcome.skips,
+                outcome.envelope,
+                outcome.clamped,
+                outcome.verified_score.map(f64::to_bits),
+                gamma.to_bits(),
+                beta.to_bits(),
+            )
+        }
+        Err(error) => format!("{index} g{} err={error:?}", done.generation),
+    }
+}
+
+/// Blocks until the supervisor restores the worker census (bounded).
+fn await_census(serve: &ServeLoop) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let m = serve.metrics();
+        if m.workers_alive == m.workers_target {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "census not restored: {}/{} alive",
+            m.workers_alive,
+            m.workers_target
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// The replayable subset of [`qaoa_gnn::LoopMetrics`]: counters that are
+/// pure functions of the seed, excluding racy gauges (queue depth, live
+/// census) and wall-clock artifacts.
+fn counter_digest(serve: &ServeLoop) -> String {
+    let m = serve.metrics();
+    format!(
+        "served={} shed={} rejected={} breaker_open={} trips={} swaps={} gen={} respawns={} gnn={} fixed={} fallback={}",
+        m.served,
+        m.shed,
+        m.rejected,
+        m.breaker_open_served,
+        m.breaker_trips,
+        m.swaps,
+        m.generation,
+        m.respawns,
+        m.rung_gnn,
+        m.rung_fixed,
+        m.rung_fallback,
+    )
+}
+
+struct SoakRun {
+    fingerprints: Vec<String>,
+    counters: String,
+    fired: u64,
+    kills: u64,
+}
+
+/// One full soak: arm the seeded schedule, drive `requests` numbered
+/// requests sequentially (submit → wait, so the request clock is total),
+/// hot-swap once mid-stream, and exercise the persistence failpoints at a
+/// tagged index. Returns everything that must replay bit-for-bit.
+fn run_soak(seed: u64, requests: u64, tag: &str) -> SoakRun {
+    let schedule = FaultSchedule::from_seed(seed, requests);
+    let kills = schedule
+        .entries
+        .iter()
+        .filter(|e| e.failpoint == faults::WORKER)
+        .map(|e| e.budget)
+        .sum();
+    let guard = faults::arm_schedule(schedule);
+    let serve = chaos_loop(seed);
+    let mut fingerprints = Vec::with_capacity(requests as usize + 2);
+    for i in 0..requests {
+        let n = 3 + (i % 10) as usize;
+        let done = serve
+            .submit(ServeRequest::from_graph(Graph::cycle(n).unwrap()))
+            .wait();
+        fingerprints.push(fingerprint(i, &done));
+        if i == requests / 2 {
+            // Mid-stream hot swap; lands inside the schedule's HOT_SWAP
+            // window or not as a pure function of the seed.
+            let swap = serve.swap_artifact(artifact(seed ^ 1));
+            fingerprints.push(format!("swap@{i} -> {swap:?}"));
+        }
+        if i == requests / 3 {
+            // Persistence under chaos: the driver thread is tagged with
+            // request index `i` (the tag lingers past submit by design),
+            // so ARTIFACT_LOAD / JOURNAL_IO windows covering `i` fire
+            // here. Panics are contained; only the outcome kind is
+            // recorded (paths and io text are not replayable).
+            let dir = std::env::temp_dir().join(format!("qaoa-chaos-{seed}-{tag}"));
+            std::fs::create_dir_all(&dir).expect("temp dir");
+            let path = dir.join("artifact.json");
+            let saved = catch_unwind(AssertUnwindSafe(|| {
+                artifact(seed).save(&path).map_err(|_| "io")
+            }));
+            let loaded = catch_unwind(AssertUnwindSafe(|| {
+                RunArtifact::load(&path).map(|_| ()).map_err(|_| "load")
+            }));
+            fingerprints.push(format!(
+                "persist@{i} save={} load={}",
+                match &saved {
+                    Ok(Ok(())) => "ok",
+                    Ok(Err(_)) => "err",
+                    Err(_) => "panic",
+                },
+                match &loaded {
+                    Ok(Ok(())) => "ok",
+                    Ok(Err(_)) => "err",
+                    Err(_) => "panic",
+                },
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    // The tail of the schedule is clean: the loop must end recovered.
+    await_census(&serve);
+    let stats = serve.stats();
+    assert_eq!(
+        stats.total(),
+        requests,
+        "exactly-once violated: {} answers for {requests} submissions",
+        stats.total()
+    );
+    let fired = guard.fired();
+    SoakRun {
+        fingerprints,
+        counters: counter_digest(&serve),
+        fired,
+        kills,
+    }
+}
+
+// ------------------------------------------------------------- the soak
+
+/// The headline test: two runs of the same seed, every invariant, and a
+/// bit-identical replay.
+#[test]
+fn chaos_soak_answers_exactly_once_and_replays_bit_identically() {
+    const SEED: u64 = 42;
+    const REQUESTS: u64 = 400;
+    let first = run_soak(SEED, REQUESTS, "a");
+    let second = run_soak(SEED, REQUESTS, "b");
+
+    // Bit-identical replay: same fingerprints in the same order, same
+    // counters, same number of scheduled firings.
+    assert_eq!(first.fingerprints.len(), second.fingerprints.len());
+    for (i, (a, b)) in first
+        .fingerprints
+        .iter()
+        .zip(&second.fingerprints)
+        .enumerate()
+    {
+        assert_eq!(a, b, "replay diverged at entry {i}");
+    }
+    assert_eq!(first.counters, second.counters, "counters diverged");
+    assert_eq!(first.fired, second.fired, "fault firings diverged");
+
+    // The schedule actually did damage (seed 42 is empirically violent:
+    // worker kills fire and the FORWARD storm trips the breaker).
+    assert!(first.fired > 0, "schedule never fired");
+    assert!(first.kills >= 3, "seed 42 must script >= 3 worker kills");
+    assert!(
+        first.counters.contains("respawns=")
+            && !first.counters.contains("respawns=0 "),
+        "worker kills must force respawns: {}",
+        first.counters
+    );
+    assert!(
+        !first.counters.contains("trips=0 "),
+        "the poison storm must trip the breaker: {}",
+        first.counters
+    );
+    assert!(
+        !first.counters.contains("breaker_open=0 "),
+        "open-state requests must be answered model-free: {}",
+        first.counters
+    );
+}
+
+/// The clean tail guarantees the soak ends *recovered*, not merely done:
+/// census full, breaker closed, health Ready.
+#[test]
+fn chaos_soak_ends_recovered() {
+    let schedule = FaultSchedule::from_seed(42, 400);
+    let _guard = faults::arm_schedule(schedule);
+    let serve = chaos_loop(42);
+    for i in 0..400u64 {
+        let n = 3 + (i % 10) as usize;
+        let done = serve
+            .submit(ServeRequest::from_graph(Graph::cycle(n).unwrap()))
+            .wait();
+        assert!(
+            done.response.result.is_ok() || i < 320,
+            "the clean tail (last 20%) must serve outcomes, got {:?} at {i}",
+            done.response.result
+        );
+    }
+    await_census(&serve);
+    let metrics = serve.metrics();
+    assert_eq!(
+        metrics.breaker_state,
+        BreakerState::Closed,
+        "breaker must re-close in the clean tail"
+    );
+    let health = serve.health();
+    assert_eq!(
+        health.state,
+        Health::Ready,
+        "loop must end Ready, reasons: {:?}",
+        health.reasons
+    );
+    assert_eq!(metrics.workers_alive, metrics.workers_target);
+}
+
+// ----------------------------------------------------- focused scenarios
+
+/// One scripted kill: the in-flight request is requeued and answered
+/// (exactly once), and the supervisor restores the census.
+#[test]
+fn worker_kill_requeues_in_flight_and_census_recovers() {
+    let schedule = FaultSchedule::new().push(ScheduledFault {
+        failpoint: faults::WORKER,
+        action: FaultAction::Panic,
+        from_index: 2,
+        to_index: 3,
+        budget: 1,
+    });
+    let guard = faults::arm_schedule(schedule);
+    let serve = chaos_loop(7001);
+    for i in 0..20u64 {
+        let done = serve
+            .submit(ServeRequest::from_graph(Graph::cycle(5).unwrap()))
+            .wait();
+        let outcome = done.response.result.expect("every request answered");
+        let (gamma, beta) = outcome.angles();
+        assert!(gamma.is_finite() && beta.is_finite(), "bad angles at {i}");
+    }
+    assert_eq!(guard.fired(), 1, "the kill window must fire exactly once");
+    await_census(&serve);
+    let metrics = serve.metrics();
+    assert_eq!(serve.stats().total(), 20);
+    assert!(metrics.respawns >= 1, "supervisor must respawn the victim");
+    assert_eq!(metrics.workers_alive, metrics.workers_target);
+}
+
+/// The breaker lifecycle in request counts: a poison window trips it
+/// Open, open-state requests serve model-free via `BreakerOpen`, and the
+/// clean stream after the window re-closes it within cooldown + probes.
+#[test]
+fn breaker_trips_serves_model_free_then_recovers() {
+    let schedule = FaultSchedule::new().push(ScheduledFault {
+        failpoint: faults::FORWARD,
+        action: FaultAction::Panic,
+        from_index: 0,
+        to_index: 8,
+        budget: 8,
+    });
+    let _guard = faults::arm_schedule(schedule);
+    let serve = chaos_loop(7101);
+    let mut breaker_open_seen = false;
+    let mut recovered_at = None;
+    for i in 0..64u64 {
+        let done = serve
+            .submit(ServeRequest::from_graph(Graph::cycle(6).unwrap()))
+            .wait();
+        let outcome = done.response.result.expect("answered");
+        if outcome.was_breaker_skipped() {
+            breaker_open_seen = true;
+            // Open-state answers are the fixed-angle shed answer: cheap,
+            // valid, honestly attributed.
+            assert_ne!(outcome.rung, Rung::Gnn);
+        }
+        if recovered_at.is_none()
+            && i >= 8
+            && outcome.rung == Rung::Gnn
+            && serve.metrics().breaker_state == BreakerState::Closed
+        {
+            recovered_at = Some(i);
+        }
+    }
+    let metrics = serve.metrics();
+    assert!(metrics.breaker_trips >= 1, "4 failures in window 8 must trip");
+    assert!(breaker_open_seen, "open state must answer via BreakerOpen");
+    assert!(metrics.breaker_open_served >= 1);
+    let recovered_at = recovered_at.expect("breaker must re-close within the run");
+    // Bounded recovery: poison ends at 8; worst case is one re-trip
+    // cascade within max_cooldown(32) + probes — far inside 64.
+    assert!(
+        recovered_at < 56,
+        "recovery took until request {recovered_at}, not bounded"
+    );
+    assert_eq!(metrics.breaker_state, BreakerState::Closed);
+}
+
+/// Publishing a fresh artifact resets the breaker: the new generation
+/// starts Closed instead of inheriting the dead model's Open state.
+#[test]
+fn hot_swap_resets_breaker_to_closed() {
+    let schedule = FaultSchedule::new().push(ScheduledFault {
+        failpoint: faults::FORWARD,
+        action: FaultAction::Panic,
+        from_index: 0,
+        to_index: 8,
+        budget: 8,
+    });
+    let _guard = faults::arm_schedule(schedule);
+    let serve = chaos_loop(7201);
+    for _ in 0..8u64 {
+        serve
+            .submit(ServeRequest::from_graph(Graph::cycle(6).unwrap()))
+            .wait();
+    }
+    assert_ne!(
+        serve.metrics().breaker_state,
+        BreakerState::Closed,
+        "poison must have tripped the breaker"
+    );
+    let health = serve.health();
+    assert_eq!(health.state, Health::Degraded);
+    assert!(
+        health
+            .reasons
+            .iter()
+            .any(|r| matches!(r, HealthReason::BreakerTripped(_))),
+        "degradation must name the breaker: {:?}",
+        health.reasons
+    );
+    // Swap in a fresh artifact (the poison window is spent): breaker
+    // resets immediately and the GNN rung serves again.
+    assert_eq!(serve.swap_artifact(artifact(7301)).expect("swap"), 1);
+    assert_eq!(serve.metrics().breaker_state, BreakerState::Closed);
+    let done = serve
+        .submit(ServeRequest::from_graph(Graph::cycle(6).unwrap()))
+        .wait();
+    assert_eq!(done.generation, 1);
+    assert_eq!(done.response.result.unwrap().rung, Rung::Gnn);
+}
+
+/// Health attribution for a structurally dead model: Degraded with
+/// `ModelUnavailable`, while a healthy loop reports Ready.
+#[test]
+fn health_names_model_unavailable_for_headless_artifact() {
+    let _guard = faults::arm_schedule(FaultSchedule::new());
+    let mut headless = artifact(7401);
+    headless.weights.params.pop();
+    let serve = ServeLoop::new(
+        headless,
+        LoopConfig::default().with_workers(1).with_batch_size(4),
+    );
+    let done = serve
+        .submit(ServeRequest::from_graph(Graph::cycle(6).unwrap()))
+        .wait();
+    assert_ne!(done.response.result.unwrap().rung, Rung::Gnn);
+    let health = serve.health();
+    assert_eq!(health.state, Health::Degraded);
+    assert!(
+        health
+            .reasons
+            .iter()
+            .any(|r| matches!(r, HealthReason::ModelUnavailable)),
+        "must name the dead model: {:?}",
+        health.reasons
+    );
+    // A healthy loop with traffic reports Ready.
+    let healthy = chaos_loop(7501);
+    healthy
+        .submit(ServeRequest::from_graph(Graph::cycle(6).unwrap()))
+        .wait();
+    assert_eq!(healthy.health().state, Health::Ready);
+}
+
+/// `wait_timeout` is the caller-side seatbelt: a timeout hands the live
+/// ticket back (reply guarantee intact), and a resolved ticket returns
+/// immediately.
+#[test]
+fn wait_timeout_returns_live_ticket_on_timeout() {
+    let _guard = faults::arm_schedule(FaultSchedule::new());
+    let serve = ServeLoop::new(
+        artifact(7601),
+        LoopConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(256)
+            .with_shed_watermark(256)
+            .with_batch_size(4),
+    );
+    // Pile slow work in front so the probe request cannot resolve
+    // instantly.
+    let patient: Vec<_> = (0..24)
+        .map(|_| serve.submit(ServeRequest::from_graph(Graph::cycle(12).unwrap())))
+        .collect();
+    let probe = serve.submit(ServeRequest::from_graph(Graph::cycle(4).unwrap()));
+    let timed_out = probe
+        .wait_timeout(Duration::ZERO)
+        .expect_err("zero timeout behind a full queue must time out");
+    assert_eq!(timed_out.waited, Duration::ZERO);
+    let text = timed_out.to_string();
+    assert!(text.contains("still live"), "Display must reassure: {text}");
+    // The returned ticket is still live: waiting again resolves it.
+    let done = timed_out.ticket.wait();
+    assert!(done.response.result.is_ok());
+    for ticket in patient {
+        assert!(ticket.wait().response.result.is_ok());
+    }
+    assert_eq!(serve.stats().total(), 25, "timeout must not double-answer");
+}
+
+/// The metrics snapshot serializes via `core::json` and parses back with
+/// the counters intact — the bench bin and dashboards consume this.
+#[test]
+fn metrics_snapshot_round_trips_through_json() {
+    let _guard = faults::arm_schedule(FaultSchedule::new());
+    let serve = chaos_loop(7701);
+    for _ in 0..5 {
+        serve
+            .submit(ServeRequest::from_graph(Graph::cycle(6).unwrap()))
+            .wait();
+    }
+    let metrics = serve.metrics();
+    let text = metrics.to_json().to_pretty();
+    let parsed = Json::parse(&text).expect("metrics JSON must parse");
+    assert_eq!(parsed.get("served").unwrap().as_u64().unwrap(), 5);
+    assert_eq!(
+        parsed.get("breaker_state").unwrap().as_str().unwrap(),
+        "closed"
+    );
+    assert_eq!(parsed.get("health").unwrap().as_str().unwrap(), "ready");
+    assert_eq!(
+        parsed.get("workers_target").unwrap().as_u64().unwrap(),
+        2
+    );
+}

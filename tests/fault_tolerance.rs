@@ -395,7 +395,7 @@ fn pooled_worker_panic_is_isolated_per_graph_exactly_as_serial() {
 #[test]
 fn sim_eval_panic_under_pooled_serving_matches_serial_degradation() {
     // n = 14 ≥ DEFAULT_CROSSOVER_QUBITS, so sim_threads = 2 actually pools.
-    assert!(14 >= qsim::exec::DEFAULT_CROSSOVER_QUBITS);
+    const { assert!(14 >= qsim::exec::DEFAULT_CROSSOVER_QUBITS) };
     let graph = Graph::cycle(14).unwrap();
     let outcomes: Vec<_> = [0usize, 2]
         .iter()

@@ -76,7 +76,7 @@ fn golden_graphs() -> Vec<(&'static str, Graph)> {
 fn graph_for_size(n: usize, rng: &mut StdRng) -> Graph {
     if n < 4 {
         Graph::complete(n).unwrap()
-    } else if n % 2 == 0 {
+    } else if n.is_multiple_of(2) {
         qgraph::generate::random_regular(n, 3, rng).unwrap()
     } else {
         qgraph::generate::erdos_renyi(n, 0.5, rng).unwrap()
