@@ -1,0 +1,734 @@
+//! Canonical-form prediction cache.
+//!
+//! At scale the request stream repeats: many submitted graphs are identical
+//! or isomorphic up to node relabeling, and the paper's whole premise is
+//! that the optimal `(γ, β)` depend on graph *structure*. This module
+//! caches [`crate::serve::PredictionOutcome`]s keyed by the
+//! permutation-invariant [`qgraph::canon::wl_hash`], so a structurally
+//! repeated graph is answered from memory instead of paying another GNN
+//! forward (and, with verification on, another `2^n` simulation).
+//!
+//! ## Correctness contract
+//!
+//! * **A WL-hash collision can never serve wrong parameters.** Every bucket
+//!   hit re-checks the stored graph against the incoming one with the exact
+//!   matcher [`qgraph::canon::are_isomorphic`]; a colliding non-isomorphic
+//!   entry is skipped (and counted in [`CacheStats::collisions`]).
+//! * **A retrained artifact never serves stale angles.** Entries are keyed
+//!   by the publishing generation. [`PredictionCache::invalidate_all`] runs
+//!   eagerly on every hot-swap, and lookups additionally purge any entry
+//!   whose generation differs from the requester's — so even an insert that
+//!   races a swap can only ever produce a dead entry, never a stale hit.
+//! * **A broken cache degrades, never fails.** The entire lookup/insert
+//!   path runs under `catch_unwind` (exercised via the
+//!   [`crate::faults::CACHE_LOOKUP`] failpoint): a panicking hash or lookup
+//!   is contained and reported as a normal miss, and the request proceeds
+//!   down the ordinary GNN rung.
+//! * **Only clean outcomes are cached.** Degraded replies (skips, clamped
+//!   angles, lower rungs) are never pinned; the next structurally equal
+//!   request retries the full ladder.
+//!
+//! The cached reply is the *representative's* outcome: for an isomorphic
+//! (relabeled) hit the served angles are those predicted for the first-seen
+//! labeling. That is exactly the structure→parameter contract of the paper
+//! (γ, β are graph invariants), and `tests/cache_parity.rs` pins it.
+//!
+//! ## Bounds
+//!
+//! The cache is sharded (`shards` independent mutexes; the shard is picked
+//! by hash) and bounded both by entry count and by estimated bytes. Bounds
+//! are enforced per shard at `capacity / shards`, so the global bounds hold
+//! by construction at all times. Eviction is least-recently-used per shard.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use qgraph::{canon, Graph};
+
+use crate::faults;
+use crate::serve::PredictionOutcome;
+
+/// Sizing for a [`PredictionCache`]. Same builder + env-override treatment
+/// as [`crate::serve_loop::LoopConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Independent mutex-protected shards; the shard is picked by canonical
+    /// hash. Effective shard count is capped at `capacity_entries` so every
+    /// shard can hold at least one entry.
+    pub shards: usize,
+    /// Global entry bound; per shard `capacity_entries / shards` (floor).
+    pub capacity_entries: usize,
+    /// Global bound on estimated resident bytes; per shard
+    /// `max_bytes / shards` (floor). An entry larger than its shard's byte
+    /// budget is simply not cached.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity_entries: 4096,
+            max_bytes: 16 << 20, // 16 MiB
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config with zero capacity: [`PredictionCache::new`] on it yields a
+    /// no-op cache (every lookup a pass-through miss, inserts dropped).
+    /// This is the [`crate::serve_loop::LoopConfig`] default — caching is
+    /// opt-in per deployment.
+    pub fn disabled() -> Self {
+        CacheConfig {
+            shards: 1,
+            capacity_entries: 0,
+            max_bytes: 0,
+        }
+    }
+
+    /// `true` when this config admits at least one entry.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity_entries > 0 && self.max_bytes > 0
+    }
+
+    /// [`Default::default`] with environment overrides:
+    /// `QAOA_GNN_CACHE_SHARDS`, `QAOA_GNN_CACHE_ENTRIES`,
+    /// `QAOA_GNN_CACHE_BYTES`. Setting `QAOA_GNN_CACHE_ENTRIES=0` (or
+    /// `..._BYTES=0`) disables the cache explicitly.
+    pub fn from_env() -> Self {
+        let mut config = CacheConfig::default();
+        let parse = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        };
+        if let Some(shards) = parse("QAOA_GNN_CACHE_SHARDS") {
+            config.shards = shards;
+        }
+        if let Some(entries) = parse("QAOA_GNN_CACHE_ENTRIES") {
+            config.capacity_entries = entries;
+        }
+        if let Some(bytes) = parse("QAOA_GNN_CACHE_BYTES") {
+            config.max_bytes = bytes;
+        }
+        config
+    }
+
+    /// Builder-style: sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Builder-style: sets the global entry bound.
+    pub fn with_capacity_entries(mut self, capacity_entries: usize) -> Self {
+        self.capacity_entries = capacity_entries;
+        self
+    }
+
+    /// Builder-style: sets the global byte bound.
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+}
+
+/// Monotone counters accumulated over a [`PredictionCache`]'s lifetime,
+/// plus two point-in-time residency gauges. The counters are merged into
+/// [`crate::serve_loop::LoopMetrics`] by the serve loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no usable entry (includes contained faults).
+    pub misses: u64,
+    /// Entries stored.
+    pub inserts: u64,
+    /// Entries evicted by the LRU policy (count or byte pressure).
+    pub evictions: u64,
+    /// Entries dropped by generation invalidation (eager on hot-swap plus
+    /// lazy purges during lookup/insert).
+    pub invalidations: u64,
+    /// Bucket hits where the WL hash matched but the exact isomorphism
+    /// check rejected the stored graph — the collision fallback working.
+    pub collisions: u64,
+    /// Lookup/insert faults contained by the cache (each such lookup also
+    /// counts as a miss).
+    pub lookup_faults: u64,
+    /// Point-in-time gauge: entries resident across all shards.
+    pub entries: usize,
+    /// Point-in-time gauge: estimated resident bytes across all shards.
+    pub resident_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all completed lookups (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+struct Entry {
+    hash: u64,
+    generation: u64,
+    graph: Graph,
+    outcome: PredictionOutcome,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: Vec<Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl Shard {
+    /// Drops every entry not belonging to `generation`, returning how many
+    /// were removed (the lazy half of the invalidation protocol).
+    fn purge_stale(&mut self, generation: u64) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.generation == generation);
+        self.bytes = self.entries.iter().map(|e| e.bytes).sum();
+        (before - self.entries.len()) as u64
+    }
+
+    fn evict_lru(&mut self) -> bool {
+        let Some(idx) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let removed = self.entries.swap_remove(idx);
+        self.bytes -= removed.bytes;
+        true
+    }
+}
+
+/// Conservative estimate of an entry's resident bytes: the struct itself,
+/// the stored graph (edge list + adjacency), and the outcome's heap tails.
+fn entry_bytes(graph: &Graph, outcome: &PredictionOutcome) -> usize {
+    let graph_bytes = graph.m() * std::mem::size_of::<qgraph::Edge>()
+        + 2 * graph.m() * std::mem::size_of::<(usize, f64)>()
+        + graph.n() * std::mem::size_of::<Vec<(usize, f64)>>();
+    let outcome_bytes = 2 * outcome.params.depth() * std::mem::size_of::<f64>()
+        + outcome.skips.len() * 64;
+    std::mem::size_of::<Entry>() + graph_bytes + outcome_bytes
+}
+
+/// Sharded, memory-bounded, generation-aware LRU over canonical graph
+/// forms. See the module docs for the correctness contract.
+pub struct PredictionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_entries: usize,
+    per_shard_bytes: usize,
+    enabled: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    collisions: AtomicU64,
+    lookup_faults: AtomicU64,
+}
+
+impl std::fmt::Debug for PredictionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_entries", &self.per_shard_entries)
+            .field("per_shard_bytes", &self.per_shard_bytes)
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PredictionCache {
+    /// Builds a cache sized by `config`. A disabled config (zero entries or
+    /// bytes) yields a no-op cache: lookups are pass-through misses that
+    /// touch no counters, inserts are dropped.
+    pub fn new(config: CacheConfig) -> Self {
+        let enabled = config.is_enabled();
+        let shards = if enabled {
+            config.shards.clamp(1, config.capacity_entries)
+        } else {
+            1
+        };
+        PredictionCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_entries: if enabled {
+                config.capacity_entries / shards
+            } else {
+                0
+            },
+            per_shard_bytes: if enabled { config.max_bytes / shards } else { 0 },
+            enabled,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+            lookup_faults: AtomicU64::new(0),
+        }
+    }
+
+    /// `true` when the cache can hold entries at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn shard_for(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Locks a shard, tolerating poisoning: a contained panic that unwound
+    /// through a lock holder must not wedge the serving path.
+    fn lock_shard(&self, hash: u64) -> std::sync::MutexGuard<'_, Shard> {
+        self.shard_for(hash)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Looks up a cached outcome for a graph structurally equal to `graph`
+    /// under the given artifact generation.
+    ///
+    /// On a hit the returned outcome is a clone of the stored one with
+    /// [`PredictionOutcome::cached`] set. Any panic on this path (including
+    /// one injected via [`faults::CACHE_LOOKUP`]) is contained and reported
+    /// as a miss.
+    pub fn lookup(&self, graph: &Graph, generation: u64) -> Option<PredictionOutcome> {
+        if !self.enabled {
+            return None;
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.lookup_inner(graph, generation))) {
+            Ok(found) => found,
+            Err(_) => {
+                self.lookup_faults.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn lookup_inner(&self, graph: &Graph, generation: u64) -> Option<PredictionOutcome> {
+        if let Some(action) = faults::fire_may_panic(faults::CACHE_LOOKUP) {
+            // Non-panic injection: the lookup aborts before hashing.
+            let _ = action;
+            self.lookup_faults.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let hash = canon::wl_hash(graph);
+        let mut shard = self.lock_shard(hash);
+        let purged = shard.purge_stale(generation);
+        if purged > 0 {
+            self.invalidations.fetch_add(purged, Ordering::Relaxed);
+        }
+        let mut collided = false;
+        let mut found = None;
+        for idx in 0..shard.entries.len() {
+            if shard.entries[idx].hash != hash {
+                continue;
+            }
+            // Collision fallback: the hash bucket is only a candidate set.
+            // Exact structural comparison decides, so a WL collision can
+            // never serve the colliding entry's parameters.
+            let entry = &shard.entries[idx];
+            if entry.graph == *graph || canon::are_isomorphic(&entry.graph, graph) {
+                found = Some(idx);
+                break;
+            }
+            collided = true;
+        }
+        if collided {
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        match found {
+            Some(idx) => {
+                shard.tick += 1;
+                let tick = shard.tick;
+                let entry = &mut shard.entries[idx];
+                entry.last_used = tick;
+                let mut outcome = entry.outcome.clone();
+                outcome.cached = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(outcome)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an outcome for `graph` under `generation`, evicting LRU
+    /// entries as needed to respect the shard's entry and byte bounds.
+    /// Oversized entries are dropped silently; a structurally equal entry
+    /// already present is refreshed instead of duplicated. Panics are
+    /// contained exactly as in [`PredictionCache::lookup`].
+    pub fn insert(&self, graph: &Graph, generation: u64, outcome: &PredictionOutcome) {
+        if !self.enabled {
+            return;
+        }
+        let contained = catch_unwind(AssertUnwindSafe(|| {
+            self.insert_inner(graph, generation, outcome)
+        }));
+        if contained.is_err() {
+            self.lookup_faults.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn insert_inner(&self, graph: &Graph, generation: u64, outcome: &PredictionOutcome) {
+        let hash = canon::wl_hash(graph);
+        let bytes = entry_bytes(graph, outcome);
+        if bytes > self.per_shard_bytes {
+            return;
+        }
+        let mut shard = self.lock_shard(hash);
+        let purged = shard.purge_stale(generation);
+        if purged > 0 {
+            self.invalidations.fetch_add(purged, Ordering::Relaxed);
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(existing) = shard
+            .entries
+            .iter_mut()
+            .find(|e| e.hash == hash && (e.graph == *graph || canon::are_isomorphic(&e.graph, graph)))
+        {
+            existing.last_used = tick;
+            return;
+        }
+        let mut stored = outcome.clone();
+        stored.cached = false;
+        shard.entries.push(Entry {
+            hash,
+            generation,
+            graph: graph.clone(),
+            outcome: stored,
+            bytes,
+            last_used: tick,
+        });
+        shard.bytes += bytes;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        while shard.entries.len() > self.per_shard_entries || shard.bytes > self.per_shard_bytes {
+            if !shard.evict_lru() {
+                break;
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry in every shard (the eager half of the hot-swap
+    /// invalidation protocol), returning how many were removed.
+    pub fn invalidate_all(&self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            removed += shard.entries.len() as u64;
+            shard.entries.clear();
+            shard.bytes = 0;
+        }
+        self.invalidations.fetch_add(removed, Ordering::Relaxed);
+        removed
+    }
+
+    /// Current entry count across all shards (a gauge, not a counter).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// `true` when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current estimated resident bytes across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).bytes)
+            .sum()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+            lookup_faults: self.lookup_faults.load(Ordering::Relaxed),
+            entries: self.len(),
+            resident_bytes: self.resident_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{EnvelopeStatus, Rung};
+    use qaoa::Params;
+
+    fn outcome_for(tag: f64) -> PredictionOutcome {
+        PredictionOutcome {
+            params: Params::new(vec![tag], vec![tag / 2.0]),
+            rung: Rung::Gnn,
+            skips: Vec::new(),
+            envelope: EnvelopeStatus::InEnvelope,
+            clamped: false,
+            verified_score: Some(tag),
+            cached: false,
+        }
+    }
+
+    fn graph(tag: usize) -> Graph {
+        // Distinct structures per tag: paths of different lengths.
+        Graph::path(tag + 2).unwrap()
+    }
+
+    #[test]
+    fn disabled_cache_is_a_pass_through() {
+        let cache = PredictionCache::new(CacheConfig::disabled());
+        assert!(!cache.is_enabled());
+        cache.insert(&graph(0), 0, &outcome_for(1.0));
+        assert_eq!(cache.lookup(&graph(0), 0), None);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn hit_returns_stored_outcome_with_cached_marker() {
+        let cache = PredictionCache::new(CacheConfig::default());
+        let g = graph(3);
+        let fresh = outcome_for(0.25);
+        assert_eq!(cache.lookup(&g, 0), None);
+        cache.insert(&g, 0, &fresh);
+        let hit = cache.lookup(&g, 0).expect("hit");
+        assert!(hit.cached);
+        let mut unmarked = hit.clone();
+        unmarked.cached = false;
+        assert_eq!(unmarked, fresh);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn isomorphic_lookup_hits_the_representative() {
+        let cache = PredictionCache::new(CacheConfig::default());
+        let g = Graph::cycle(7).unwrap();
+        cache.insert(&g, 0, &outcome_for(1.5));
+        let relabeled = g.relabel(&[3, 5, 0, 6, 1, 4, 2]);
+        let hit = cache.lookup(&relabeled, 0).expect("isomorphic hit");
+        assert_eq!(hit.params, outcome_for(1.5).params);
+    }
+
+    #[test]
+    fn wl_collision_never_serves_the_colliding_entry() {
+        let cache = PredictionCache::new(CacheConfig::default());
+        let c6 = Graph::cycle(6).unwrap();
+        let tri2 =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        assert_eq!(canon::wl_hash(&c6), canon::wl_hash(&tri2), "collision pair");
+        cache.insert(&c6, 0, &outcome_for(1.0));
+        // The colliding structure must miss, not inherit C6's parameters.
+        assert_eq!(cache.lookup(&tri2, 0), None);
+        assert_eq!(cache.stats().collisions, 1);
+        // Once both are present, each serves its own outcome.
+        cache.insert(&tri2, 0, &outcome_for(2.0));
+        assert_eq!(cache.lookup(&c6, 0).unwrap().params, outcome_for(1.0).params);
+        assert_eq!(
+            cache.lookup(&tri2, 0).unwrap().params,
+            outcome_for(2.0).params
+        );
+    }
+
+    #[test]
+    fn capacity_and_bytes_are_never_exceeded() {
+        let config = CacheConfig::default()
+            .with_shards(2)
+            .with_capacity_entries(6)
+            .with_max_bytes(1 << 20);
+        let cache = PredictionCache::new(config.clone());
+        for i in 0..40 {
+            cache.insert(&graph(i), 0, &outcome_for(i as f64));
+            assert!(cache.len() <= config.capacity_entries);
+            assert!(cache.resident_bytes() <= config.max_bytes);
+        }
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn byte_bound_evicts_before_count_bound() {
+        // Shard byte budget fits roughly two path-graph entries.
+        let probe = entry_bytes(&graph(0), &outcome_for(0.0));
+        let config = CacheConfig::default()
+            .with_shards(1)
+            .with_capacity_entries(100)
+            .with_max_bytes(probe * 5 / 2);
+        let cache = PredictionCache::new(config.clone());
+        for i in 0..10 {
+            cache.insert(&graph(i), 0, &outcome_for(i as f64));
+            assert!(cache.resident_bytes() <= config.max_bytes);
+        }
+        assert!(cache.len() < 10);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn eviction_order_is_least_recently_used() {
+        let config = CacheConfig::default()
+            .with_shards(1)
+            .with_capacity_entries(3)
+            .with_max_bytes(1 << 20);
+        let cache = PredictionCache::new(config);
+        let (a, b, c, d) = (graph(0), graph(1), graph(2), graph(3));
+        cache.insert(&a, 0, &outcome_for(0.0));
+        cache.insert(&b, 0, &outcome_for(1.0));
+        cache.insert(&c, 0, &outcome_for(2.0));
+        // Touch `a` so `b` becomes the LRU entry, then overflow.
+        assert!(cache.lookup(&a, 0).is_some());
+        cache.insert(&d, 0, &outcome_for(3.0));
+        assert!(cache.lookup(&b, 0).is_none(), "b was LRU and evicted");
+        assert!(cache.lookup(&a, 0).is_some());
+        assert!(cache.lookup(&c, 0).is_some());
+        assert!(cache.lookup(&d, 0).is_some());
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let config = CacheConfig::default()
+            .with_shards(1)
+            .with_capacity_entries(8)
+            .with_max_bytes(8); // smaller than any entry
+        let cache = PredictionCache::new(CacheConfig {
+            max_bytes: 8,
+            ..config
+        });
+        cache.insert(&graph(0), 0, &outcome_for(0.0));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().inserts, 0);
+    }
+
+    #[test]
+    fn reinserting_a_structural_duplicate_refreshes_instead_of_duplicating() {
+        let cache = PredictionCache::new(CacheConfig::default());
+        let g = Graph::cycle(5).unwrap();
+        cache.insert(&g, 0, &outcome_for(1.0));
+        cache.insert(&g.relabel(&[4, 3, 2, 1, 0]), 0, &outcome_for(9.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().inserts, 1);
+        // The original outcome is retained (first write wins).
+        assert_eq!(cache.lookup(&g, 0).unwrap().params, outcome_for(1.0).params);
+    }
+
+    #[test]
+    fn generation_mismatch_is_a_miss_and_purges_lazily() {
+        let cache = PredictionCache::new(CacheConfig::default());
+        let g = graph(2);
+        cache.insert(&g, 1, &outcome_for(1.0));
+        assert_eq!(cache.lookup(&g, 2), None, "newer generation never hits");
+        assert_eq!(cache.len(), 0, "stale entry purged during lookup");
+        assert!(cache.stats().invalidations >= 1);
+        // An insert racing a swap leaves only a dead entry.
+        cache.insert(&g, 1, &outcome_for(1.0));
+        cache.insert(&graph(3), 2, &outcome_for(2.0));
+        assert_eq!(cache.lookup(&g, 2), None);
+    }
+
+    #[test]
+    fn invalidate_all_empties_every_shard() {
+        let cache = PredictionCache::new(CacheConfig::default().with_shards(4));
+        for i in 0..12 {
+            cache.insert(&graph(i), 0, &outcome_for(i as f64));
+        }
+        assert_eq!(cache.len(), 12);
+        assert_eq!(cache.invalidate_all(), 12);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.stats().invalidations, 12);
+    }
+
+    #[test]
+    fn lookup_fault_degrades_to_a_miss() {
+        let cache = PredictionCache::new(CacheConfig::default());
+        let g = graph(1);
+        cache.insert(&g, 0, &outcome_for(1.0));
+        {
+            let _guard = faults::armed(faults::CACHE_LOOKUP, faults::FaultAction::Panic, 1);
+            assert_eq!(cache.lookup(&g, 0), None, "injected panic is a miss");
+        }
+        {
+            let _guard = faults::armed(faults::CACHE_LOOKUP, faults::FaultAction::Error, 1);
+            assert_eq!(cache.lookup(&g, 0), None, "injected error is a miss");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookup_faults, 2);
+        assert_eq!(stats.misses, 2);
+        // The cache stays healthy afterwards.
+        assert!(cache.lookup(&g, 0).is_some());
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        stats.hits = 3;
+        stats.misses = 1;
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_env_overrides() {
+        // Env-var tests mutate process state; the fault test-lock already
+        // serializes fault tests, so just use unique keys deterministically.
+        std::env::set_var("QAOA_GNN_CACHE_SHARDS", "3");
+        std::env::set_var("QAOA_GNN_CACHE_ENTRIES", "77");
+        std::env::set_var("QAOA_GNN_CACHE_BYTES", "1234567");
+        let config = CacheConfig::from_env();
+        std::env::remove_var("QAOA_GNN_CACHE_SHARDS");
+        std::env::remove_var("QAOA_GNN_CACHE_ENTRIES");
+        std::env::remove_var("QAOA_GNN_CACHE_BYTES");
+        assert_eq!(config.shards, 3);
+        assert_eq!(config.capacity_entries, 77);
+        assert_eq!(config.max_bytes, 1_234_567);
+        assert!(config.is_enabled());
+        assert!(!CacheConfig::disabled().is_enabled());
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_capacity() {
+        let cache = PredictionCache::new(
+            CacheConfig::default()
+                .with_shards(64)
+                .with_capacity_entries(2),
+        );
+        // With 2 effective shards of 1 entry each, the global bound holds.
+        for i in 0..10 {
+            cache.insert(&graph(i), 0, &outcome_for(i as f64));
+            assert!(cache.len() <= 2);
+        }
+    }
+}

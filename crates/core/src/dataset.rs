@@ -148,6 +148,11 @@ pub struct LabelReport {
     /// Number of graphs that produced a label (including retries and
     /// journal-restored entries on resume).
     pub labeled: usize,
+    /// Simulations skipped by the isomorphism deduper
+    /// ([`LabelConfig::dedupe_isomorphic`]): graphs whose label was
+    /// replicated from a structurally identical representative instead of
+    /// being re-simulated. Always 0 when deduplication is off.
+    pub skipped_isomorphic: usize,
     /// Every first-attempt failure, in input order.
     pub failures: Vec<LabelFailure>,
 }
@@ -158,6 +163,7 @@ impl LabelReport {
         LabelReport {
             total,
             labeled: total,
+            skipped_isomorphic: 0,
             failures: Vec::new(),
         }
     }
@@ -203,6 +209,17 @@ pub struct LabelConfig {
     /// with `threads`: graph-level parallelism across the dataset,
     /// sweep-level parallelism within each large instance.
     pub sim_threads: usize,
+    /// When `true`, detect isomorphic duplicates (via
+    /// [`qgraph::canon::wl_hash`] bucketing + the exact matcher) before
+    /// labeling, simulate only one representative per isomorphism class,
+    /// and replicate its label scalars — `(γ, β)`, expectation, optimum and
+    /// approximation ratio are all relabeling-invariant — onto each
+    /// duplicate (which keeps its own node labeling). Representatives keep
+    /// their usual per-index RNG substream, so their labels stay
+    /// bit-identical to an undeduped run; the skipped-simulation count
+    /// lands in [`LabelReport::skipped_isomorphic`]. Default `false`: every
+    /// graph is simulated, the historical behavior.
+    pub dedupe_isomorphic: bool,
 }
 
 impl Default for LabelConfig {
@@ -214,6 +231,7 @@ impl Default for LabelConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             sim_threads: 0,
+            dedupe_isomorphic: false,
         }
     }
 }
@@ -249,6 +267,13 @@ impl LabelConfig {
     /// (`0` = serial simulation, the default).
     pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
         self.sim_threads = sim_threads;
+        self
+    }
+
+    /// Builder-style: enables isomorphism deduplication before labeling
+    /// (see the [`LabelConfig::dedupe_isomorphic`] field docs).
+    pub fn with_dedupe_isomorphic(mut self, dedupe_isomorphic: bool) -> Self {
+        self.dedupe_isomorphic = dedupe_isomorphic;
         self
     }
 }
@@ -493,11 +518,103 @@ impl Dataset {
         config: &LabelConfig,
         seed: u64,
     ) -> (Dataset, LabelReport) {
+        if config.dedupe_isomorphic {
+            return Self::label_graphs_deduped(labeler, graphs, config, seed);
+        }
         let todo: Vec<usize> = (0..graphs.len()).collect();
         let (labeled, failures) =
             label_indices_checked(labeler, graphs, &todo, config, seed, &|_, _| Ok(()))
                 .expect("no-op sink cannot fail");
         Self::assemble(graphs.len(), labeled, failures)
+    }
+
+    /// The isomorphism-deduped labeling path: partition the batch into
+    /// isomorphism classes (WL-hash buckets refined by the exact matcher —
+    /// a WL collision can never merge distinct structures), simulate only
+    /// the first-seen representative of each class on its usual per-index
+    /// RNG substream, then replicate its relabeling-invariant label scalars
+    /// onto every duplicate. Representatives are therefore bit-identical to
+    /// the undeduped run; a batch with no duplicates is bit-identical in
+    /// full. A duplicate of an unrecovered representative records the same
+    /// failure at its own index.
+    fn label_graphs_deduped(
+        labeler: &(dyn Fn(&Graph, &LabelConfig, &mut StdRng) -> LabeledGraph + Sync),
+        graphs: &[Graph],
+        config: &LabelConfig,
+        seed: u64,
+    ) -> (Dataset, LabelReport) {
+        use std::collections::HashMap;
+
+        let mut rep_of: Vec<usize> = (0..graphs.len()).collect();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (index, graph) in graphs.iter().enumerate() {
+            let bucket = buckets.entry(qgraph::canon::wl_hash(graph)).or_default();
+            match bucket
+                .iter()
+                .find(|&&rep| qgraph::canon::are_isomorphic(&graphs[rep], graph))
+            {
+                Some(&rep) => rep_of[index] = rep,
+                None => bucket.push(index),
+            }
+        }
+        let todo: Vec<usize> = (0..graphs.len())
+            .filter(|&index| rep_of[index] == index)
+            .collect();
+        let (mut labeled, mut failures) =
+            label_indices_checked(labeler, graphs, &todo, config, seed, &|_, _| Ok(()))
+                .expect("no-op sink cannot fail");
+
+        let by_index: HashMap<usize, usize> = labeled
+            .iter()
+            .enumerate()
+            .map(|(slot, &(index, _))| (index, slot))
+            .collect();
+        let mut skipped = 0usize;
+        let mut replicated: Vec<(usize, LabeledGraph)> = Vec::new();
+        for (index, graph) in graphs.iter().enumerate() {
+            let rep = rep_of[index];
+            if rep == index {
+                continue;
+            }
+            match by_index.get(&rep) {
+                Some(&slot) => {
+                    let label = &labeled[slot].1;
+                    replicated.push((
+                        index,
+                        LabeledGraph {
+                            graph: graph.clone(),
+                            params: label.params.clone(),
+                            expectation: label.expectation,
+                            optimal: label.optimal,
+                            approx_ratio: label.approx_ratio,
+                        },
+                    ));
+                    skipped += 1;
+                }
+                None => {
+                    // The representative stayed unlabeled even after its
+                    // retry; its duplicates share that fate (re-simulating
+                    // an identical structure would fail identically).
+                    let reason = failures
+                        .iter()
+                        .find(|f| f.index == rep && !f.recovered)
+                        .map(|f| f.reason.clone())
+                        .unwrap_or_else(|| {
+                            LabelFailureReason::Panic("representative unlabeled".to_string())
+                        });
+                    failures.push(LabelFailure {
+                        index,
+                        reason,
+                        recovered: false,
+                    });
+                }
+            }
+        }
+        labeled.extend(replicated);
+        failures.sort_by_key(|f| f.index);
+        let (dataset, mut report) = Self::assemble(graphs.len(), labeled, failures);
+        report.skipped_isomorphic = skipped;
+        (dataset, report)
     }
 
     /// Builds the ordered dataset + report from engine output (shared with
@@ -517,6 +634,7 @@ impl Dataset {
         let report = LabelReport {
             total,
             labeled: dataset.len(),
+            skipped_isomorphic: 0,
             failures,
         };
         (dataset, report)

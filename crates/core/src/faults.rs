@@ -21,6 +21,7 @@
 //! | [`HOT_SWAP`] | [`crate::serve_loop::ServeLoop::swap_artifact`] | swap rejected (`Error`) or panics; the old artifact keeps serving |
 //! | [`ADMISSION`] | [`crate::serve_loop::ServeLoop::submit`] | request refused (`Error`) or panics at admission |
 //! | [`WORKER`] | the serve-loop worker, *outside* the per-request guard | the worker thread dies (`Panic`); the supervisor must respawn it |
+//! | [`CACHE_LOOKUP`] | [`crate::cache::PredictionCache::lookup`] | the canonical-hash/lookup path panics (`Panic`) or aborts (`Error`/`Nan`); the request degrades to a normal GNN-rung miss |
 //!
 //! # Arming
 //!
@@ -85,9 +86,15 @@ pub const ADMISSION: &str = "admission";
 /// than per-request containment. The claimed-but-unanswered batch must be
 /// requeued and answered by a surviving or respawned worker.
 pub const WORKER: &str = "worker";
+/// Failpoint inside [`crate::cache::PredictionCache::lookup`], *before* the
+/// canonical hash is computed: a `Panic` unwinds out of the hash/lookup
+/// path (contained by the cache itself), any other action aborts the
+/// lookup. Either way the request must degrade to a normal GNN-rung miss —
+/// a broken cache may cost latency, never correctness.
+pub const CACHE_LOOKUP: &str = "cache_lookup";
 
 /// Every failpoint name, for enumeration in tests and docs.
-pub const ALL: [&str; 8] = [
+pub const ALL: [&str; 9] = [
     ARTIFACT_LOAD,
     WEIGHT_BUILD,
     FORWARD,
@@ -96,6 +103,7 @@ pub const ALL: [&str; 8] = [
     HOT_SWAP,
     ADMISSION,
     WORKER,
+    CACHE_LOOKUP,
 ];
 
 /// What an armed failpoint injects when it fires.

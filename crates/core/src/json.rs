@@ -503,6 +503,7 @@ impl ToJson for LabelConfig {
             ("iterations", Json::uint(self.iterations as u64)),
             ("threads", Json::uint(self.threads as u64)),
             ("sim_threads", Json::uint(self.sim_threads as u64)),
+            ("dedupe_isomorphic", Json::Bool(self.dedupe_isomorphic)),
         ])
     }
 }
@@ -518,6 +519,12 @@ impl FromJson for LabelConfig {
             sim_threads: match json.get("sim_threads") {
                 Ok(v) => v.as_usize()?,
                 Err(_) => 0,
+            },
+            // Absent before the isomorphism deduper existed; those runs
+            // labeled every graph, which `false` encodes.
+            dedupe_isomorphic: match json.get("dedupe_isomorphic") {
+                Ok(v) => v.as_bool()?,
+                Err(_) => false,
             },
         })
     }
@@ -901,6 +908,10 @@ impl ToJson for LabelReport {
             ("total", Json::uint(self.total as u64)),
             ("labeled", Json::uint(self.labeled as u64)),
             (
+                "skipped_isomorphic",
+                Json::uint(self.skipped_isomorphic as u64),
+            ),
+            (
                 "failures",
                 Json::Arr(self.failures.iter().map(ToJson::to_json).collect()),
             ),
@@ -913,6 +924,12 @@ impl FromJson for LabelReport {
         Ok(LabelReport {
             total: json.get("total")?.as_usize()?,
             labeled: json.get("labeled")?.as_usize()?,
+            // Absent in reports written before the isomorphism deduper
+            // existed; those runs simulated every graph, which 0 encodes.
+            skipped_isomorphic: match json.get("skipped_isomorphic") {
+                Ok(v) => v.as_usize()?,
+                Err(_) => 0,
+            },
             failures: json
                 .get("failures")?
                 .as_arr()?
@@ -1114,6 +1131,13 @@ impl ToJson for crate::serve_loop::LoopMetrics {
             ("rung_gnn", Json::uint(self.rung_gnn)),
             ("rung_fixed", Json::uint(self.rung_fixed)),
             ("rung_fallback", Json::uint(self.rung_fallback)),
+            ("cache_hits", Json::uint(self.cache_hits)),
+            ("cache_misses", Json::uint(self.cache_misses)),
+            ("cache_inserts", Json::uint(self.cache_inserts)),
+            ("cache_evictions", Json::uint(self.cache_evictions)),
+            ("cache_invalidations", Json::uint(self.cache_invalidations)),
+            ("cache_collisions", Json::uint(self.cache_collisions)),
+            ("cache_lookup_faults", Json::uint(self.cache_lookup_faults)),
             ("health", Json::Str(self.health.to_string())),
         ])
     }
@@ -1370,6 +1394,7 @@ mod tests {
         let report = LabelReport {
             total: 10,
             labeled: 8,
+            skipped_isomorphic: 2,
             failures: vec![
                 LabelFailure {
                     index: 3,

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod cache;
 pub mod dataset;
 pub mod eval;
 pub mod faults;
@@ -56,6 +57,7 @@ pub use serve::{
     Rung, ServeConfig, ServeRequest, ServeResponse, Skip, SkipReason,
 };
 pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
+pub use cache::{CacheConfig, CacheStats, PredictionCache};
 pub use faults::{FaultSchedule, ScheduledFault};
 pub use serve_loop::{
     Completed, Health, HealthReason, HealthReport, LoopConfig, LoopMetrics, LoopStats, ServeLoop,

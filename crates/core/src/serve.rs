@@ -296,6 +296,11 @@ pub struct PredictionOutcome {
     /// Simulator expectation of the served parameters, when verification
     /// ran on the serving rung.
     pub verified_score: Option<f64>,
+    /// `true` when this outcome was served from the canonical-form
+    /// prediction cache ([`crate::cache::PredictionCache`]) rather than a
+    /// fresh ladder run. Apart from this marker, a cached reply is
+    /// bit-identical to the fresh reply it memoized.
+    pub cached: bool,
 }
 
 impl PredictionOutcome {
@@ -336,6 +341,9 @@ impl PredictionOutcome {
         }
         if self.clamped {
             s.push_str(", clamped");
+        }
+        if self.cached {
+            s.push_str(", cached");
         }
         for skip in &self.skips {
             s.push_str(&format!("; {} skipped: {}", skip.rung, skip.reason));
@@ -578,6 +586,11 @@ pub struct GuardedPredictor {
     artifact: Arc<RunArtifact>,
     model: Result<GnnModel, String>,
     config: ServeConfig,
+    /// Canonical-form cache binding, when serving behind
+    /// [`crate::serve_loop::ServeLoop`] (or attached explicitly). The
+    /// generation pins which artifact's answers the shared cache may serve
+    /// through this predictor.
+    cache: Option<(Arc<crate::cache::PredictionCache>, u64)>,
 }
 
 impl GuardedPredictor {
@@ -604,7 +617,22 @@ impl GuardedPredictor {
             artifact,
             model,
             config,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared canonical-form cache, binding it to the artifact
+    /// generation this predictor serves. Lookups run ahead of the GNN rung;
+    /// only clean GNN outcomes ([`PredictionOutcome::is_clean`]) are
+    /// inserted, so degraded replies are never pinned. A predictor without
+    /// a cache (the default) behaves exactly as before.
+    pub fn with_cache(
+        mut self,
+        cache: Arc<crate::cache::PredictionCache>,
+        generation: u64,
+    ) -> GuardedPredictor {
+        self.cache = Some((cache, generation));
+        self
     }
 
     /// Loads an artifact from disk (full [`RunArtifact::load`] validation:
@@ -745,22 +773,43 @@ impl GuardedPredictor {
         admit_with(&self.config, self.envelope(), graph)
     }
 
-    /// The full degradation ladder on a pre-built graph.
+    /// The full degradation ladder on a pre-built graph, fronted by the
+    /// canonical-form cache when one is attached: a structurally equal
+    /// graph already answered under this generation is served from memory
+    /// (after the usual cap/envelope admission), and a clean GNN answer is
+    /// memoized on the way out. Cache faults degrade to a normal miss.
     fn predict_graph(&self, graph: &Graph) -> Result<PredictionOutcome, RequestError> {
         let envelope = self.admit_graph(graph)?;
+        if let Some((cache, generation)) = &self.cache {
+            if let Some(hit) = cache.lookup(graph, *generation) {
+                return Ok(hit);
+            }
+        }
+        let outcome = self.run_ladder(graph, envelope);
+        if let Some((cache, generation)) = &self.cache {
+            if outcome.is_clean() {
+                cache.insert(graph, *generation, &outcome);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// The rungs themselves — total once a request is admitted.
+    fn run_ladder(&self, graph: &Graph, envelope: EnvelopeStatus) -> PredictionOutcome {
         let mut skips = Vec::new();
 
         // Rung 1: the GNN.
         match self.try_gnn(graph, envelope) {
             Ok((params, clamped, score)) => {
-                return Ok(PredictionOutcome {
+                return PredictionOutcome {
                     params,
                     rung: Rung::Gnn,
                     skips,
                     envelope,
                     clamped,
                     verified_score: score,
-                });
+                    cached: false,
+                };
             }
             Err(reason) => skips.push(Skip {
                 rung: Rung::Gnn,
@@ -771,14 +820,15 @@ impl GuardedPredictor {
         // Rung 2: nearest fixed angles.
         match self.try_fixed(graph) {
             Ok((params, score)) => {
-                return Ok(PredictionOutcome {
+                return PredictionOutcome {
                     params,
                     rung: Rung::FixedAngle,
                     skips,
                     envelope,
                     clamped: false,
                     verified_score: score,
-                });
+                    cached: false,
+                };
             }
             Err(reason) => skips.push(Skip {
                 rung: Rung::FixedAngle,
@@ -786,7 +836,7 @@ impl GuardedPredictor {
             }),
         }
 
-        Ok(self.fallback_outcome(skips, envelope))
+        self.fallback_outcome(skips, envelope)
     }
 
     /// Rung 3: total fallback — envelope mean when recorded, else the
@@ -938,6 +988,7 @@ fn fallback_with(
         envelope: status,
         clamped,
         verified_score: None,
+        cached: false,
     }
 }
 
@@ -993,6 +1044,7 @@ pub(crate) fn model_free_response(
                 envelope: status,
                 clamped: false,
                 verified_score: None,
+                cached: false,
             }
         } else {
             skips.push(Skip {

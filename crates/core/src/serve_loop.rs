@@ -117,6 +117,7 @@ use crate::breaker::{
     BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker, GnnObservation,
 };
 use crate::faults;
+use crate::cache::{CacheConfig, CacheStats, PredictionCache};
 use crate::serve::{
     model_free_response, shed_response, GuardedPredictor, Priority, RequestError, Rung,
     ServeConfig, ServeRequest, ServeResponse, SkipReason,
@@ -149,6 +150,11 @@ pub struct LoopConfig {
     pub serve: ServeConfig,
     /// Circuit-breaker policy for the GNN rung (see [`crate::breaker`]).
     pub breaker: BreakerConfig,
+    /// Canonical-form prediction cache sizing (see [`crate::cache`]).
+    /// Defaults to [`CacheConfig::disabled`] — caching is opt-in, so the
+    /// request-for-request determinism of existing deployments (and the
+    /// chaos replay suite) is unchanged unless a deployment asks for it.
+    pub cache: CacheConfig,
 }
 
 impl Default for LoopConfig {
@@ -160,6 +166,7 @@ impl Default for LoopConfig {
             batch_size: 32,
             serve: ServeConfig::default(),
             breaker: BreakerConfig::default(),
+            cache: CacheConfig::disabled(),
         }
     }
 }
@@ -169,11 +176,24 @@ impl LoopConfig {
     /// `QAOA_GNN_SERVE_WORKERS`, `QAOA_GNN_SERVE_QUEUE` (capacity),
     /// `QAOA_GNN_SERVE_SHED` (watermark), `QAOA_GNN_SERVE_BATCH`, plus
     /// everything [`ServeConfig::from_env`] and
-    /// [`BreakerConfig::from_env`] read.
+    /// [`BreakerConfig::from_env`] read. The prediction cache stays
+    /// disabled unless any `QAOA_GNN_CACHE_*` variable is present, in
+    /// which case [`CacheConfig::from_env`] sizes it.
     pub fn from_env() -> Self {
+        let cache_keys = [
+            "QAOA_GNN_CACHE_SHARDS",
+            "QAOA_GNN_CACHE_ENTRIES",
+            "QAOA_GNN_CACHE_BYTES",
+        ];
+        let cache = if cache_keys.iter().any(|k| std::env::var_os(k).is_some()) {
+            CacheConfig::from_env()
+        } else {
+            CacheConfig::disabled()
+        };
         let mut config = LoopConfig {
             serve: ServeConfig::from_env(),
             breaker: BreakerConfig::from_env(),
+            cache,
             ..LoopConfig::default()
         };
         let parse = |key: &str| {
@@ -229,6 +249,13 @@ impl LoopConfig {
     /// Builder-style: sets the GNN-rung circuit-breaker policy.
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = breaker;
+        self
+    }
+
+    /// Builder-style: enables (or resizes) the canonical-form prediction
+    /// cache fronting every worker's GNN rung.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -506,6 +533,22 @@ pub struct LoopMetrics {
     pub rung_fixed: u64,
     /// Outcomes served by the fallback rung.
     pub rung_fallback: u64,
+    /// Prediction-cache hits (0 when the cache is disabled).
+    pub cache_hits: u64,
+    /// Prediction-cache misses, including contained lookup faults.
+    pub cache_misses: u64,
+    /// Prediction-cache entries stored.
+    pub cache_inserts: u64,
+    /// Prediction-cache LRU evictions (count or byte pressure).
+    pub cache_evictions: u64,
+    /// Prediction-cache entries dropped by generation invalidation
+    /// (hot-swap flushes plus lazy stale purges).
+    pub cache_invalidations: u64,
+    /// WL-hash bucket hits rejected by the exact isomorphism check — the
+    /// collision fallback doing its job.
+    pub cache_collisions: u64,
+    /// Cache lookup/insert faults contained on the serving path.
+    pub cache_lookup_faults: u64,
     /// Current folded health state.
     pub health: Health,
 }
@@ -526,6 +569,9 @@ struct Job {
 
 struct Shared {
     cell: SwapCell<Published>,
+    /// Canonical-form prediction cache shared by every worker's predictor
+    /// (a no-op instance when the config disables caching).
+    cache: Arc<PredictionCache>,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     depth: AtomicUsize,
@@ -641,6 +687,7 @@ impl ServeLoop {
                 artifact: Arc::new(artifact),
                 serve: config.serve.clone(),
             }),
+            cache: Arc::new(PredictionCache::new(config.cache.clone())),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             depth: AtomicUsize::new(0),
@@ -808,6 +855,11 @@ impl ServeLoop {
         });
         self.shared.swaps.fetch_add(1, SeqCst);
         self.shared.breaker.reset_for_generation(generation);
+        // Eager half of the cache invalidation protocol: the retrained
+        // artifact must never serve the old generation's angles. (Lookups
+        // also purge stale generations lazily, covering any insert that
+        // races this flush.)
+        self.shared.cache.invalidate_all();
         Ok(generation)
     }
 
@@ -828,6 +880,7 @@ impl ServeLoop {
     pub fn metrics(&self) -> LoopMetrics {
         let shared = &self.shared;
         let breaker = shared.breaker.snapshot();
+        let cache = shared.cache.stats();
         LoopMetrics {
             served: shared.served.load(SeqCst),
             shed: shared.shed.load(SeqCst),
@@ -849,8 +902,21 @@ impl ServeLoop {
             rung_gnn: shared.rung_gnn.load(SeqCst),
             rung_fixed: shared.rung_fixed.load(SeqCst),
             rung_fallback: shared.rung_fallback.load(SeqCst),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_inserts: cache.inserts,
+            cache_evictions: cache.evictions,
+            cache_invalidations: cache.invalidations,
+            cache_collisions: cache.collisions,
+            cache_lookup_faults: cache.lookup_faults,
             health: self.health().state,
         }
+    }
+
+    /// Lifetime counters of the canonical-form prediction cache (all zero
+    /// when the cache is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
     }
 
     /// Folds census, breaker, queue, and model availability into the
@@ -1193,10 +1259,14 @@ fn worker_loop(shared: &Shared) {
         // happened to serve — which the chaos determinism test relies on.
         let mut scratch: Option<GuardedPredictor> = None;
         if stale {
+            // The shared cache binds to the generation being served, so a
+            // worker still on an old generation can neither read nor pin
+            // the new generation's entries (and vice versa).
             let predictor = GuardedPredictor::shared(
                 Arc::clone(&published.artifact),
                 published.serve.clone(),
-            );
+            )
+            .with_cache(Arc::clone(&shared.cache), published.generation);
             if predictor.model_available() {
                 let _ = shared.model_down.compare_exchange(
                     published.generation,

@@ -1,0 +1,383 @@
+//! Canonical-form hashing and isomorphism testing.
+//!
+//! The serving cache and the labeling deduper both need to answer one
+//! question cheaply: *is this graph structurally the same as one we have
+//! already seen?* Two tools cooperate:
+//!
+//! 1. [`wl_hash`] — a deterministic 64-bit hash built from Weisfeiler–Leman
+//!    (WL) color refinement. It is **permutation-invariant**: relabeling the
+//!    nodes of a graph never changes the hash, so isomorphic graphs always
+//!    land in the same bucket.
+//! 2. [`are_isomorphic`] — an exact isomorphism check used as the collision
+//!    fallback on every bucket hit. WL-1 refinement cannot separate certain
+//!    non-isomorphic pairs (the classic example at this scale: the 6-cycle
+//!    vs. two disjoint triangles — both 2-regular on 6 nodes), so a hash
+//!    match alone is never trusted to serve cached parameters.
+//!
+//! ## Collision posture
+//!
+//! * Isomorphic graphs **always** collide (by construction — the hash is a
+//!   graph invariant). That is the cache's hit path.
+//! * Non-isomorphic graphs collide only when (a) WL-1 refinement cannot
+//!   distinguish them *and* (b) the 64-bit FNV-1a folds of `n`, `m`, the
+//!   edge-weight multiset and the refined color multiset agree. For the
+//!   paper's envelope (n ≤ 15) WL-equivalent non-isomorphic pairs are rare
+//!   and random 64-bit collisions are negligible; both are rendered harmless
+//!   by the exact [`are_isomorphic`] comparison every consumer performs
+//!   before treating a bucket hit as a structural match.
+//! * [`are_isomorphic`] is **one-sided conservative**: it may return `false`
+//!   for a genuinely isomorphic pair if its backtracking budget is exhausted
+//!   (astronomically unlikely at n ≤ 15 — color classes prune the search),
+//!   but it never returns `true` for a non-isomorphic pair. A false negative
+//!   costs a cache miss or a duplicate simulation, never a wrong answer.
+
+use crate::Graph;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Assignment budget for the backtracking isomorphism search. Exhausting it
+/// yields a conservative `false` (treated as "not proven isomorphic").
+const ISO_STEP_BUDGET: u64 = 1_000_000;
+
+/// Node-count guard for the O(n²) scratch the matcher allocates. Graphs
+/// larger than this are compared by exact equality only (the serving
+/// envelope caps n at 15, so this is purely defensive).
+const ISO_MAX_NODES: usize = 1024;
+
+#[inline]
+fn fnv_byte(mut h: u64, b: u8) -> u64 {
+    h ^= b as u64;
+    h = h.wrapping_mul(FNV_PRIME);
+    h
+}
+
+#[inline]
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = fnv_byte(h, b);
+    }
+    h
+}
+
+/// One WL refinement pass: each node's new color is a hash of its old color
+/// and the **sorted** multiset of `(neighbor color, edge-weight bits)` pairs.
+/// Sorting makes the pass independent of adjacency-list insertion order, and
+/// therefore of node labeling.
+fn wl_round(graph: &Graph, colors: &[u64]) -> Vec<u64> {
+    let mut next = Vec::with_capacity(graph.n());
+    let mut signature: Vec<(u64, u64)> = Vec::new();
+    for v in 0..graph.n() {
+        signature.clear();
+        for &(u, w) in graph.neighbors(v) {
+            signature.push((colors[u], w.to_bits()));
+        }
+        signature.sort_unstable();
+        let mut h = fnv_u64(FNV_OFFSET, colors[v]);
+        for &(c, wb) in &signature {
+            h = fnv_u64(h, c);
+            h = fnv_u64(h, wb);
+        }
+        next.push(h);
+    }
+    next
+}
+
+fn distinct_count(colors: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Runs WL color refinement to a stable partition and returns the final
+/// per-node colors.
+///
+/// The initial color of a node folds its degree with the sorted multiset of
+/// its incident edge-weight bits — the same degree signal the paper's GNN
+/// features start from. Refinement stops as soon as a pass fails to increase
+/// the number of distinct colors (the partition has stabilized), and is
+/// capped at `n` passes; both stopping rules are themselves
+/// permutation-invariant, so the returned color *multiset* is a graph
+/// invariant.
+pub fn wl_colors(graph: &Graph) -> Vec<u64> {
+    let mut colors = Vec::with_capacity(graph.n());
+    let mut weight_bits: Vec<u64> = Vec::new();
+    for v in 0..graph.n() {
+        weight_bits.clear();
+        weight_bits.extend(graph.neighbors(v).iter().map(|&(_, w)| w.to_bits()));
+        weight_bits.sort_unstable();
+        let mut h = fnv_u64(FNV_OFFSET, graph.degree(v) as u64);
+        for &wb in &weight_bits {
+            h = fnv_u64(h, wb);
+        }
+        colors.push(h);
+    }
+    let mut classes = distinct_count(&colors);
+    for _ in 0..graph.n() {
+        let next = wl_round(graph, &colors);
+        let next_classes = distinct_count(&next);
+        colors = next;
+        if next_classes <= classes {
+            break;
+        }
+        classes = next_classes;
+    }
+    colors
+}
+
+/// Deterministic, permutation-invariant 64-bit canonical hash of a graph.
+///
+/// Folds `n`, `m` and the sorted multiset of refined WL colors into FNV-1a.
+/// Isomorphic graphs always produce the same hash; see the module docs for
+/// the collision posture on non-isomorphic graphs.
+///
+/// ```
+/// use qgraph::{canon, Graph};
+///
+/// let g = Graph::path(5).unwrap();
+/// let h = g.relabel(&[4, 2, 0, 1, 3]);
+/// assert_eq!(canon::wl_hash(&g), canon::wl_hash(&h));
+/// assert_ne!(canon::wl_hash(&g), canon::wl_hash(&Graph::star(5).unwrap()));
+/// ```
+pub fn wl_hash(graph: &Graph) -> u64 {
+    let mut colors = wl_colors(graph);
+    colors.sort_unstable();
+    let mut h = fnv_u64(FNV_OFFSET, graph.n() as u64);
+    h = fnv_u64(h, graph.m() as u64);
+    for &c in &colors {
+        h = fnv_u64(h, c);
+    }
+    h
+}
+
+/// Weight-bits adjacency lookup used by the matcher: `adj[u][v]` is
+/// `Some(weight.to_bits())` when `(u, v)` is an edge.
+fn bit_matrix(graph: &Graph) -> Vec<Vec<Option<u64>>> {
+    let n = graph.n();
+    let mut adj = vec![vec![None; n]; n];
+    for e in graph.edges() {
+        let bits = Some(e.weight.to_bits());
+        adj[e.u][e.v] = bits;
+        adj[e.v][e.u] = bits;
+    }
+    adj
+}
+
+/// Exact isomorphism test (weights must match bit-for-bit).
+///
+/// Cheap invariants (`n`, `m`, the WL color multiset) reject most
+/// non-isomorphic pairs outright; survivors go through color-class-pruned
+/// backtracking. The search is budgeted: if it exceeds its step budget it
+/// returns `false` — a conservative answer that can only cause a cache miss
+/// or a duplicate simulation, never a wrong match (see module docs).
+///
+/// ```
+/// use qgraph::{canon, Graph};
+///
+/// let c6 = Graph::cycle(6).unwrap();
+/// let triangles =
+///     Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+/// // WL-1 cannot separate these two 2-regular graphs...
+/// assert_eq!(canon::wl_hash(&c6), canon::wl_hash(&triangles));
+/// // ...but the exact matcher can.
+/// assert!(!canon::are_isomorphic(&c6, &triangles));
+/// ```
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.n() != b.n() || a.m() != b.m() {
+        return false;
+    }
+    if a.n() > ISO_MAX_NODES {
+        return a == b;
+    }
+    let colors_a = wl_colors(a);
+    let colors_b = wl_colors(b);
+    let mut sorted_a = colors_a.clone();
+    let mut sorted_b = colors_b.clone();
+    sorted_a.sort_unstable();
+    sorted_b.sort_unstable();
+    if sorted_a != sorted_b {
+        return false;
+    }
+
+    let n = a.n();
+    // Class size per color (shared between both graphs after the multiset
+    // check above): smaller classes are more constrained, so matching them
+    // first prunes the search hardest.
+    let class_size = |c: u64| sorted_a.iter().filter(|&&x| x == c).count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| (class_size(colors_a[v]), colors_a[v], v));
+
+    let mut search = Search {
+        order: &order,
+        colors_a: &colors_a,
+        colors_b: &colors_b,
+        adj_a: &bit_matrix(a),
+        adj_b: &bit_matrix(b),
+        mapping: vec![None; n], // a-node -> b-node
+        used: vec![false; n],
+        steps: 0,
+    };
+    search.backtrack(0)
+}
+
+/// State of one color-class-pruned backtracking search.
+struct Search<'a> {
+    order: &'a [usize],
+    colors_a: &'a [u64],
+    colors_b: &'a [u64],
+    adj_a: &'a [Vec<Option<u64>>],
+    adj_b: &'a [Vec<Option<u64>>],
+    mapping: Vec<Option<usize>>,
+    used: Vec<bool>,
+    steps: u64,
+}
+
+impl Search<'_> {
+    fn backtrack(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            return true;
+        }
+        let v = self.order[depth];
+        for u in 0..self.colors_b.len() {
+            if self.used[u] || self.colors_b[u] != self.colors_a[v] {
+                continue;
+            }
+            self.steps += 1;
+            if self.steps > ISO_STEP_BUDGET {
+                return false;
+            }
+            // Consistency with every already-mapped node: edge presence and
+            // weight bits must agree in both directions.
+            let consistent = self.order[..depth].iter().all(|&w| {
+                let mw = self.mapping[w].expect("mapped prefix");
+                self.adj_a[v][w] == self.adj_b[u][mw]
+            });
+            if !consistent {
+                continue;
+            }
+            self.mapping[v] = Some(u);
+            self.used[u] = true;
+            if self.backtrack(depth + 1) {
+                return true;
+            }
+            self.mapping[v] = None;
+            self.used[u] = false;
+            if self.steps > ISO_STEP_BUDGET {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perm_of(n: usize, seed: u64) -> Vec<usize> {
+        // Tiny deterministic Fisher–Yates on a splitmix-style stream.
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm
+    }
+
+    #[test]
+    fn hash_is_permutation_invariant() {
+        let graphs = [
+            Graph::path(7).unwrap(),
+            Graph::cycle(8).unwrap(),
+            Graph::star(9).unwrap(),
+            Graph::complete(6).unwrap(),
+            Graph::grid(3, 4).unwrap(),
+            Graph::complete_bipartite(3, 4).unwrap(),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let base = wl_hash(g);
+            for s in 0..5u64 {
+                let h = g.relabel(&perm_of(g.n(), s.wrapping_add(i as u64 * 97)));
+                assert_eq!(base, wl_hash(&h), "graph #{i} perm seed {s}");
+                assert!(are_isomorphic(g, &h), "graph #{i} perm seed {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_structures_hash_differently() {
+        // Same n, same m: path vs. star on 5 nodes (4 edges each).
+        let path = Graph::path(5).unwrap();
+        let star = Graph::star(5).unwrap();
+        assert_ne!(wl_hash(&path), wl_hash(&star));
+        assert!(!are_isomorphic(&path, &star));
+    }
+
+    #[test]
+    fn weights_participate_in_the_hash() {
+        let light = Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let heavy = Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        assert_ne!(wl_hash(&light), wl_hash(&heavy));
+        assert!(!are_isomorphic(&light, &heavy));
+        // Moving the heavy edge elsewhere on the path is still isomorphic.
+        let heavy_flipped = Graph::from_weighted_edges(3, &[(0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+        assert_eq!(wl_hash(&heavy), wl_hash(&heavy_flipped));
+        assert!(are_isomorphic(&heavy, &heavy_flipped));
+    }
+
+    #[test]
+    fn wl_collision_pair_is_separated_by_exact_matcher() {
+        // The canonical WL-1 failure case at this scale: C6 vs. 2×C3. Both
+        // are 2-regular on 6 nodes with 6 unit edges, so refinement assigns
+        // every node the same color and the hashes collide — which is
+        // exactly why bucket hits must run the exact matcher.
+        let c6 = Graph::cycle(6).unwrap();
+        let tri2 =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        assert_eq!(wl_hash(&c6), wl_hash(&tri2));
+        assert!(!are_isomorphic(&c6, &tri2));
+        assert!(are_isomorphic(&c6, &c6.relabel(&perm_of(6, 3))));
+    }
+
+    #[test]
+    fn size_mismatches_reject_immediately() {
+        let p3 = Graph::path(3).unwrap();
+        let p4 = Graph::path(4).unwrap();
+        assert!(!are_isomorphic(&p3, &p4));
+        let c4 = Graph::cycle(4).unwrap();
+        let sparse = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!are_isomorphic(&c4, &sparse));
+    }
+
+    #[test]
+    fn dense_symmetric_graphs_match_within_budget() {
+        // K_12 is the worst case for naive matching (12! mappings); the
+        // search must still succeed because every candidate extends.
+        let k = Graph::complete(12).unwrap();
+        let shuffled = k.relabel(&perm_of(12, 7));
+        assert!(are_isomorphic(&k, &shuffled));
+        assert_eq!(wl_hash(&k), wl_hash(&shuffled));
+    }
+
+    #[test]
+    fn edgeless_graphs_compare_by_node_count() {
+        let a = Graph::empty(5).unwrap();
+        let b = Graph::empty(5).unwrap();
+        let c = Graph::empty(6).unwrap();
+        assert_eq!(wl_hash(&a), wl_hash(&b));
+        assert!(are_isomorphic(&a, &b));
+        assert_ne!(wl_hash(&a), wl_hash(&c));
+        assert!(!are_isomorphic(&a, &c));
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`stats`] — degree / size histograms used for Figure 2.
 //! * [`maxcut`] — exact (brute-force) and heuristic Max-Cut solvers used to
 //!   compute approximation ratios.
+//! * [`canon`] — permutation-invariant Weisfeiler–Leman canonical hashing
+//!   and an exact isomorphism check, used by the prediction cache and the
+//!   labeling deduper.
 //!
 //! ## Example
 //!
@@ -36,6 +39,7 @@
 mod error;
 mod graph;
 
+pub mod canon;
 pub mod features;
 pub mod generate;
 pub mod io;

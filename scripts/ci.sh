@@ -20,7 +20,7 @@ cargo test -q --offline | tee "$test_log"
 echo "==> test-count floor"
 # The suite must never silently shrink: the floor is the passing-test
 # count at the time of the last change to it. Raise it when adding tests.
-TEST_FLOOR=657
+TEST_FLOOR=692
 total=$(grep -oE '[0-9]+ passed' "$test_log" | awk '{s+=$1} END {print s+0}')
 rm -f "$test_log"
 if [ "$total" -lt "$TEST_FLOOR" ]; then
@@ -81,6 +81,14 @@ echo "==> serve_load smoke (concurrent loop: zero drops, mid-traffic hot-swaps, 
 # queue, and a non-empty shed fraction under the forced-saturation burst.
 cargo run --release --offline -q -p qaoa-gnn-bench --bin serve_load -- --smoke
 echo "OK: serving loop sheds under saturation and hot-swaps without dropping requests"
+
+echo "==> cache smoke (Zipf replay: hit-rate > 0, cached bits identical to fresh bits)"
+# CI-sized Zipf replay of one request stream through a cache-off and a
+# cache-on loop (workers=1). The bin itself asserts a non-zero hit rate,
+# a zero hit rate on the baseline, and an identical FNV digest over every
+# reply's angle bits + rung across both phases.
+cargo run --release --offline -q -p qaoa-gnn-bench --bin cache_hit -- --smoke
+echo "OK: canonical-form cache hits serve bit-identical replies"
 
 echo "==> chaos smoke (seeded fault schedule: kills, breaker trips, bit-identical replay)"
 # Two CI-sized soaks of the same seed under a scripted fault schedule. The

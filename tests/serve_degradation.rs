@@ -11,6 +11,7 @@
 //! | `sim_eval`     | nan ×1    | GNN verification fails; fixed angles serve |
 //! | `sim_eval`     | nan ×2    | both verified rungs fail; fallback serves |
 //! | `journal_io`   | err       | `LabelJournal::append` → typed `io::Error` |
+//! | `cache_lookup` | panic/err | cache lookup degrades to a GNN-rung miss  |
 //!
 //! Plus the batch-isolation contract (one poisoned request cannot take
 //! down its batch) and the disarmed-faults bit-identity acceptance (a
@@ -211,6 +212,42 @@ fn journal_io_fault_is_a_typed_append_error() {
     let (_, replayed) = LabelJournal::open(&dir, &graphs, &config, 90).unwrap();
     assert_eq!(replayed.len(), 1);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cache_lookup_panic_degrades_to_a_gnn_rung_miss() {
+    use qaoa_gnn::{CacheConfig, PredictionCache};
+    use std::sync::Arc;
+
+    let cache = Arc::new(PredictionCache::new(CacheConfig::default()));
+    let served = GuardedPredictor::new(tiny_artifact(), ServeConfig::default())
+        .with_cache(Arc::clone(&cache), 0);
+    let graph = Graph::cycle(8).unwrap();
+
+    // Warm the cache, then prove the warm path actually hits.
+    let fresh = served.predict(&graph).unwrap();
+    assert!(fresh.is_clean() && !fresh.cached);
+    assert!(served.predict(&graph).unwrap().cached);
+
+    for action in [FaultAction::Panic, FaultAction::Error] {
+        let _fault = faults::armed(faults::CACHE_LOOKUP, action, 1);
+        let outcome = served.predict(&graph).unwrap();
+        // The broken lookup is a normal GNN-rung miss: full ladder, no
+        // degradation, bits identical to the fresh prediction.
+        assert!(outcome.is_clean(), "degraded: {}", outcome.summary());
+        assert!(!outcome.cached, "a faulted lookup must not claim a hit");
+        assert_eq!(outcome, fresh);
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.lookup_faults, 2);
+    assert_eq!(stats.hits, 1);
+
+    // Disarmed, the cache serves hits again — bit-identical minus marker.
+    let hit = served.predict(&graph).unwrap();
+    assert!(hit.cached);
+    let mut unmarked = hit;
+    unmarked.cached = false;
+    assert_eq!(unmarked, fresh);
 }
 
 #[test]

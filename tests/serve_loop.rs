@@ -453,3 +453,126 @@ fn pipeline_publish_hot_swaps_trained_model_into_live_loop() {
         .unwrap();
     assert_eq!(loop_outcome, direct);
 }
+
+// ------------------------------------------------- canonical-form cache
+
+/// Hot-swap invalidation protocol: warming the cache, swapping the
+/// artifact, and re-asking the same graph must re-run the ladder against
+/// the *new* generation — never serve the old generation's memoized
+/// reply — and then re-warm normally.
+#[test]
+fn hot_swap_empties_cache_and_next_request_misses_on_new_artifact() {
+    use qaoa_gnn::CacheConfig;
+    let serve = ServeLoop::new(
+        artifact(9401),
+        LoopConfig::default()
+            .with_workers(1)
+            .with_batch_size(4)
+            .with_cache(CacheConfig::default()),
+    );
+    let graph = Graph::cycle(8).unwrap();
+
+    let fresh = serve
+        .handle_wait(ServeRequest::from_graph(graph.clone()))
+        .response
+        .result
+        .unwrap();
+    assert!(!fresh.cached);
+    let warm = serve
+        .handle_wait(ServeRequest::from_graph(graph.clone()))
+        .response
+        .result
+        .unwrap();
+    assert!(warm.cached, "second identical request must hit");
+
+    serve.swap_artifact(artifact(9402)).expect("swap");
+    let stats = serve.cache_stats();
+    assert_eq!(stats.entries, 0, "swap must empty the cache eagerly");
+    assert!(stats.invalidations >= 1);
+
+    let after = serve.handle_wait(ServeRequest::from_graph(graph.clone()));
+    assert_eq!(after.generation, 1);
+    let after = after.response.result.unwrap();
+    assert!(!after.cached, "post-swap request must miss");
+    // Different weights, different prediction: proof the miss was served
+    // by the new artifact rather than a resurrected entry.
+    assert_ne!(after.angles(), fresh.angles());
+    let rewarmed = serve
+        .handle_wait(ServeRequest::from_graph(graph))
+        .response
+        .result
+        .unwrap();
+    assert!(rewarmed.cached, "the new generation re-warms normally");
+    assert_eq!(
+        {
+            let mut unmarked = rewarmed;
+            unmarked.cached = false;
+            unmarked
+        },
+        after
+    );
+}
+
+/// Churn through the live loop: far more distinct graphs than the cache
+/// holds. The LRU must stay inside both configured bounds at all times
+/// while evicting, and replays of recent graphs must still hit.
+#[test]
+fn cache_churn_through_loop_respects_bounds_and_keeps_recency() {
+    use qaoa_gnn::CacheConfig;
+    const CAPACITY: usize = 8;
+    let serve = ServeLoop::new(
+        artifact(9501),
+        LoopConfig::default()
+            .with_workers(2)
+            .with_batch_size(4)
+            .with_cache(
+                CacheConfig::default()
+                    .with_shards(2)
+                    .with_capacity_entries(CAPACITY),
+            ),
+    );
+    let max_bytes = CacheConfig::default().max_bytes;
+    // 3..=14 nodes × {cycle, path, star, complete} = 48 distinct
+    // canonical forms churned twice.
+    let mut graphs = Vec::new();
+    for n in 3..=14usize {
+        graphs.push(Graph::cycle(n).unwrap());
+        graphs.push(Graph::path(n).unwrap());
+        graphs.push(Graph::star(n).unwrap());
+        graphs.push(Graph::complete(n).unwrap());
+    }
+    for round in 0..2 {
+        for graph in &graphs {
+            let outcome = serve
+                .handle_wait(ServeRequest::from_graph(graph.clone()))
+                .response
+                .result
+                .unwrap();
+            let _ = (round, outcome);
+            let stats = serve.cache_stats();
+            assert!(
+                stats.entries <= CAPACITY,
+                "entry bound violated: {} > {CAPACITY}",
+                stats.entries
+            );
+            assert!(
+                stats.resident_bytes <= max_bytes,
+                "byte bound violated: {} > {max_bytes}",
+                stats.resident_bytes
+            );
+        }
+    }
+    let stats = serve.cache_stats();
+    assert!(stats.evictions > 0, "churn this size must evict");
+    assert!(stats.inserts > CAPACITY as u64);
+
+    // The most recent CAPACITY/shard survivors are the recently-used
+    // tail of the churn: replaying the very last graph must hit.
+    let last = graphs.last().unwrap().clone();
+    let replay = serve
+        .handle_wait(ServeRequest::from_graph(last))
+        .response
+        .result
+        .unwrap();
+    assert!(replay.cached, "the most recently inserted graph must survive LRU");
+}
