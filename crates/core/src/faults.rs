@@ -22,6 +22,8 @@
 //! | [`ADMISSION`] | [`crate::serve_loop::ServeLoop::submit`] | request refused (`Error`) or panics at admission |
 //! | [`WORKER`] | the serve-loop worker, *outside* the per-request guard | the worker thread dies (`Panic`); the supervisor must respawn it |
 //! | [`CACHE_LOOKUP`] | [`crate::cache::PredictionCache::lookup`] | the canonical-hash/lookup path panics (`Panic`) or aborts (`Error`/`Nan`); the request degrades to a normal GNN-rung miss |
+//! | [`CHECKPOINT_WRITE`] | the atomic training-checkpoint write, between tmp-file flush and rename | write fails (`Error`), panics (`Panic`), or pauses (`Stall`) with the tmp file visible — a kill window for crash harnesses |
+//! | [`ARTIFACT_SAVE`] | [`crate::store::RunArtifact::save`], between tmp-file flush and rename | save fails (`Error`), panics (`Panic`), or pauses (`Stall`); the previous artifact stays intact either way |
 //!
 //! # Arming
 //!
@@ -92,9 +94,22 @@ pub const WORKER: &str = "worker";
 /// lookup. Either way the request must degrade to a normal GNN-rung miss —
 /// a broken cache may cost latency, never correctness.
 pub const CACHE_LOOKUP: &str = "cache_lookup";
+/// Failpoint inside the atomic training-checkpoint write
+/// ([`crate::store::TrainCheckpoint::save`]), **after** the tmp file is
+/// written and fsynced but **before** it is renamed over the live
+/// checkpoint. `Error` aborts the save (training stops, the previous
+/// checkpoint survives); `Stall` pauses the protocol with the tmp file
+/// visible on disk — the kill window the crash-resume harness aims SIGKILL
+/// at.
+pub const CHECKPOINT_WRITE: &str = "checkpoint_write";
+/// Failpoint inside [`crate::store::RunArtifact::save`], between tmp-file
+/// flush and rename. Whatever fires — `Error`, `Panic`, or a `Stall`
+/// interrupted by SIGKILL — the previously published artifact must remain
+/// loadable: the rename is the commit point.
+pub const ARTIFACT_SAVE: &str = "artifact_save";
 
 /// Every failpoint name, for enumeration in tests and docs.
-pub const ALL: [&str; 9] = [
+pub const ALL: [&str; 11] = [
     ARTIFACT_LOAD,
     WEIGHT_BUILD,
     FORWARD,
@@ -104,6 +119,8 @@ pub const ALL: [&str; 9] = [
     ADMISSION,
     WORKER,
     CACHE_LOOKUP,
+    CHECKPOINT_WRITE,
+    ARTIFACT_SAVE,
 ];
 
 /// What an armed failpoint injects when it fires.
@@ -115,6 +132,13 @@ pub enum FaultAction {
     Nan,
     /// Return a typed error (tests error propagation).
     Error,
+    /// Pause at the failpoint — sleep in short slices for up to
+    /// [`stall_budget_ms`] milliseconds, then continue as if nothing fired.
+    /// A stall converts an instantaneous protocol step into a wide,
+    /// deterministic window that an external harness can SIGKILL into
+    /// (e.g. "killed between checkpoint tmp-write and rename"). Only
+    /// [`fire_may_panic`] hook sites honor it; `fire` returns it raw.
+    Stall,
 }
 
 impl FaultAction {
@@ -123,6 +147,7 @@ impl FaultAction {
             "panic" => Some(FaultAction::Panic),
             "nan" => Some(FaultAction::Nan),
             "err" | "error" => Some(FaultAction::Error),
+            "stall" => Some(FaultAction::Stall),
             _ => None,
         }
     }
@@ -134,7 +159,32 @@ impl std::fmt::Display for FaultAction {
             FaultAction::Panic => write!(f, "panic"),
             FaultAction::Nan => write!(f, "nan"),
             FaultAction::Error => write!(f, "err"),
+            FaultAction::Stall => write!(f, "stall"),
         }
+    }
+}
+
+/// How long a [`FaultAction::Stall`] pauses, in milliseconds: the value of
+/// `QAOA_GNN_STALL_MS` (read once), defaulting to 30 000. Harnesses that
+/// SIGKILL into the window never see the budget expire; unattended runs
+/// resume after it.
+pub fn stall_budget_ms() -> u64 {
+    static BUDGET: OnceLock<u64> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("QAOA_GNN_STALL_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(30_000)
+    })
+}
+
+/// Sleeps in 10 ms slices until the stall budget is spent. Kept slice-wise
+/// so a budget typo cannot wedge a process in one monolithic sleep.
+fn stall() {
+    let budget = std::time::Duration::from_millis(stall_budget_ms());
+    let start = std::time::Instant::now();
+    while start.elapsed() < budget {
+        std::thread::sleep(std::time::Duration::from_millis(10));
     }
 }
 
@@ -307,10 +357,16 @@ pub fn is_armed(name: &str) -> bool {
 /// `catch_unwind`-based.
 pub fn fire_may_panic(name: &str) -> Option<FaultAction> {
     let action = fire(name)?;
-    if action == FaultAction::Panic {
-        panic!("fault injected: {name}");
+    match action {
+        FaultAction::Panic => panic!("fault injected: {name}"),
+        // A stall is a pure delay: pause inside the hook site's protocol
+        // window, then report "nothing fired" so the caller proceeds.
+        FaultAction::Stall => {
+            stall();
+            None
+        }
+        other => Some(other),
     }
-    Some(action)
 }
 
 fn test_lock() -> &'static Mutex<()> {
@@ -557,7 +613,12 @@ mod tests {
 
     #[test]
     fn actions_parse_and_display() {
-        for action in [FaultAction::Panic, FaultAction::Nan, FaultAction::Error] {
+        for action in [
+            FaultAction::Panic,
+            FaultAction::Nan,
+            FaultAction::Error,
+            FaultAction::Stall,
+        ] {
             assert_eq!(FaultAction::parse(&action.to_string()), Some(action));
         }
         assert_eq!(FaultAction::parse("error"), Some(FaultAction::Error));

@@ -11,8 +11,10 @@
 //! [`Number::F64`]) so 64-bit seeds survive a round trip exactly; floats are
 //! written with Rust's shortest-round-trip `{:?}` formatting.
 
-use gnn::train::{DivergenceEvent, EpochStats, TrainConfig, TrainHistory};
+use gnn::train::{DivergenceEvent, EpochStats, TrainConfig, TrainHistory, TrainState};
 use gnn::{GnnKind, ModelConfig, ModelWeights, Readout};
+use tensor::optim::AdamState;
+use tensor::sched::PlateauState;
 use tensor::Matrix;
 use qgraph::features::FeatureConfig;
 use qgraph::generate::DatasetSpec;
@@ -779,6 +781,154 @@ impl FromJson for EvalConfig {
     }
 }
 
+fn moments_to_json(moments: &[(usize, Matrix)]) -> Json {
+    Json::Arr(
+        moments
+            .iter()
+            .map(|(index, matrix)| {
+                obj(vec![
+                    ("index", Json::uint(*index as u64)),
+                    ("matrix", matrix.to_json()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn moments_from_json(json: &Json) -> Result<Vec<(usize, Matrix)>, JsonError> {
+    json.as_arr()?
+        .iter()
+        .map(|entry| {
+            Ok((
+                entry.get("index")?.as_usize()?,
+                Matrix::from_json(entry.get("matrix")?)?,
+            ))
+        })
+        .collect()
+}
+
+impl ToJson for AdamState {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("lr", Json::float(self.lr)),
+            ("beta1", Json::float(self.beta1)),
+            ("beta2", Json::float(self.beta2)),
+            ("eps", Json::float(self.eps)),
+            ("weight_decay", Json::float(self.weight_decay)),
+            ("t", Json::uint(self.t)),
+            ("m", moments_to_json(&self.m)),
+            ("v", moments_to_json(&self.v)),
+        ])
+    }
+}
+
+impl FromJson for AdamState {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(AdamState {
+            lr: json.get("lr")?.as_f64()?,
+            beta1: json.get("beta1")?.as_f64()?,
+            beta2: json.get("beta2")?.as_f64()?,
+            eps: json.get("eps")?.as_f64()?,
+            weight_decay: json.get("weight_decay")?.as_f64()?,
+            t: json.get("t")?.as_u64()?,
+            m: moments_from_json(json.get("m")?)?,
+            v: moments_from_json(json.get("v")?)?,
+        })
+    }
+}
+
+impl ToJson for PlateauState {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "best",
+                self.best.map_or(Json::Null, Json::float),
+            ),
+            ("bad_epochs", Json::uint(self.bad_epochs as u64)),
+        ])
+    }
+}
+
+impl FromJson for PlateauState {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(PlateauState {
+            best: json.get_opt("best")?.map(Json::as_f64).transpose()?,
+            bad_epochs: json.get("bad_epochs")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for TrainState {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("next_epoch", Json::uint(self.next_epoch as u64)),
+            ("done", Json::Bool(self.done)),
+            (
+                "params",
+                Json::Arr(self.params.iter().map(ToJson::to_json).collect()),
+            ),
+            ("optimizer", self.optimizer.to_json()),
+            ("scheduler", self.scheduler.to_json()),
+            // Bit-pattern encoding: before the first epoch the best loss is
+            // `+∞`, which a plain JSON float cannot carry.
+            ("best_loss_bits", Json::uint(self.best_loss.to_bits())),
+            (
+                "best_params",
+                Json::Arr(self.best_params.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "order",
+                Json::Arr(self.order.iter().map(|&i| Json::uint(i as u64)).collect()),
+            ),
+            (
+                "rng_state",
+                Json::Arr(self.rng_state.iter().map(|&w| Json::uint(w)).collect()),
+            ),
+            ("history", self.history.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TrainState {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let words = json.get("rng_state")?.as_arr()?;
+        if words.len() != 4 {
+            return err(format!("rng_state needs 4 words, found {}", words.len()));
+        }
+        let mut rng_state = [0u64; 4];
+        for (slot, word) in rng_state.iter_mut().zip(words) {
+            *slot = word.as_u64()?;
+        }
+        Ok(TrainState {
+            next_epoch: json.get("next_epoch")?.as_usize()?,
+            done: json.get("done")?.as_bool()?,
+            params: json
+                .get("params")?
+                .as_arr()?
+                .iter()
+                .map(Matrix::from_json)
+                .collect::<Result<_, _>>()?,
+            optimizer: AdamState::from_json(json.get("optimizer")?)?,
+            scheduler: PlateauState::from_json(json.get("scheduler")?)?,
+            best_loss: f64::from_bits(json.get("best_loss_bits")?.as_u64()?),
+            best_params: json
+                .get("best_params")?
+                .as_arr()?
+                .iter()
+                .map(Matrix::from_json)
+                .collect::<Result<_, _>>()?,
+            order: json
+                .get("order")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_usize)
+                .collect::<Result<_, _>>()?,
+            rng_state,
+            history: TrainHistory::from_json(json.get("history")?)?,
+        })
+    }
+}
+
 impl ToJson for EpochStats {
     fn to_json(&self) -> Json {
         obj(vec![
@@ -1016,6 +1166,10 @@ impl ToJson for PipelineConfig {
                     .as_ref()
                     .map_or(Json::Null, |p| Json::Str(p.display().to_string())),
             ),
+            (
+                "checkpoint_every",
+                Json::uint(self.checkpoint_every as u64),
+            ),
         ])
     }
 }
@@ -1050,6 +1204,13 @@ impl FromJson for PipelineConfig {
                 .get_opt("artifact_path")?
                 .map(|v| Ok::<_, JsonError>(std::path::PathBuf::from(v.as_str()?)))
                 .transpose()?,
+            // Absent in configs written before training checkpoints
+            // existed; every-epoch is the default stride.
+            checkpoint_every: json
+                .get_opt("checkpoint_every")?
+                .map(Json::as_usize)
+                .transpose()?
+                .unwrap_or(1),
         })
     }
 }

@@ -51,7 +51,7 @@ pub mod store;
 pub use dataset::{Dataset, LabeledGraph};
 pub use eval::{EvaluationReport, GraphComparison};
 pub use json::{FromJson, Json, JsonError, ToJson};
-pub use pipeline::{Pipeline, PipelineConfig};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineError};
 pub use serve::{
     EnvelopeStatus, GuardedPredictor, PredictionOutcome, Priority, RequestError, RequestPayload,
     Rung, ServeConfig, ServeRequest, ServeResponse, Skip, SkipReason,
@@ -63,4 +63,6 @@ pub use serve_loop::{
     Completed, Health, HealthReason, HealthReport, LoopConfig, LoopMetrics, LoopStats, ServeLoop,
     SwapError, Ticket, WaitTimeout,
 };
-pub use store::{ArtifactError, EnvelopeViolation, RunArtifact, TrainingEnvelope};
+pub use store::{
+    ArtifactError, EnvelopeViolation, RunArtifact, TrainCheckpoint, TrainingEnvelope,
+};

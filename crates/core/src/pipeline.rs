@@ -1,9 +1,10 @@
 //! The end-to-end pipeline: generate → label → prune → augment → train →
 //! evaluate, reproducing the paper's full experiment in one call.
 
+use std::io;
 use std::path::PathBuf;
 
-use qrand::Rng;
+use qrand::rngs::StdRng;
 
 use gnn::train::{self, Example, TrainConfig, TrainHistory};
 use gnn::{GnnKind, GnnModel, GraphContext, ModelConfig};
@@ -54,6 +55,10 @@ pub struct PipelineConfig {
     /// trained weights (bit-exact), this configuration, the training
     /// history, the labeling report, and the dataset fingerprint.
     pub artifact_path: Option<PathBuf>,
+    /// Epoch stride between training checkpoints when `checkpoint_dir` is
+    /// set (`1` = after every epoch; `0` is treated as `1`). The final
+    /// done-state checkpoint is always written regardless of stride.
+    pub checkpoint_every: usize,
 }
 
 impl PipelineConfig {
@@ -72,6 +77,7 @@ impl PipelineConfig {
             checkpoint_dir: None,
             failure_policy: FailurePolicy::default(),
             artifact_path: None,
+            checkpoint_every: 1,
         }
     }
 
@@ -98,9 +104,12 @@ impl PipelineConfig {
     ///   (`0` = serial simulation, the default).
     /// * `QAOA_GNN_ITERATIONS` — optimizer iterations per labeled graph.
     /// * `QAOA_GNN_SEED` — master seed.
-    /// * `QAOA_GNN_CHECKPOINT_DIR` — labeling checkpoint directory; an
-    ///   interrupted run re-launched with the same directory resumes from
-    ///   its journal.
+    /// * `QAOA_GNN_CHECKPOINT_DIR` — checkpoint directory for the labeling
+    ///   journal **and** per-epoch training checkpoints; an interrupted run
+    ///   re-launched with the same directory resumes from the furthest
+    ///   completed stage, bit-identically.
+    /// * `QAOA_GNN_CHECKPOINT_EVERY` — epoch stride between training
+    ///   checkpoints (default 1 = every epoch).
     /// * `QAOA_GNN_ARTIFACT` — path to save the completed run as a
     ///   [`crate::store::RunArtifact`] (binaries that train several
     ///   architectures derive one path per architecture from it, see
@@ -134,6 +143,9 @@ impl PipelineConfig {
             if !path.trim().is_empty() {
                 config = config.with_artifact_path(Some(PathBuf::from(path.trim())));
             }
+        }
+        if let Some(every) = parse("QAOA_GNN_CHECKPOINT_EVERY") {
+            config = config.with_checkpoint_every(every as usize);
         }
         config
     }
@@ -220,6 +232,75 @@ impl PipelineConfig {
         self.artifact_path = artifact_path;
         self
     }
+
+    /// Builder-style: sets the epoch stride between training checkpoints
+    /// (`0` is treated as `1`).
+    pub fn with_checkpoint_every(mut self, checkpoint_every: usize) -> Self {
+        self.checkpoint_every = checkpoint_every;
+        self
+    }
+}
+
+/// Why a pipeline run failed.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The generation/labeling/split layer failed (see [`DatasetError`]);
+    /// filesystem errors from checkpoint and artifact writes also arrive
+    /// here as [`DatasetError::Io`].
+    Dataset(DatasetError),
+    /// `checkpoint_dir` holds a **valid** training checkpoint that belongs
+    /// to a different run — different config, dataset, architecture, or
+    /// RNG stream. Resuming would silently mix two runs, so the pipeline
+    /// refuses; point it at a fresh directory (or delete the stale
+    /// checkpoint) to proceed.
+    CheckpointMismatch {
+        /// The refusing checkpoint file.
+        path: PathBuf,
+        /// [`crate::store::train_identity`] of the current run.
+        expected: u64,
+        /// Identity recorded in the checkpoint.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Dataset(e) => write!(f, "{e}"),
+            PipelineError::CheckpointMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "training checkpoint {} belongs to a different run \
+                 (identity {found:#018x}, this run is {expected:#018x}); \
+                 refusing to resume",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Dataset(e) => Some(e),
+            PipelineError::CheckpointMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<DatasetError> for PipelineError {
+    fn from(e: DatasetError) -> Self {
+        PipelineError::Dataset(e)
+    }
+}
+
+impl From<io::Error> for PipelineError {
+    fn from(e: io::Error) -> Self {
+        PipelineError::Dataset(DatasetError::from(e))
+    }
 }
 
 /// Everything one pipeline run produced.
@@ -276,7 +357,7 @@ impl Pipeline {
     /// below the dataset size), the dataset spec is invalid, or labeling
     /// fails under [`FailurePolicy::Halt`] — see [`Self::try_run`] for the
     /// non-panicking form.
-    pub fn run<R: Rng + ?Sized>(kind: GnnKind, config: &PipelineConfig, rng: &mut R) -> Pipeline {
+    pub fn run(kind: GnnKind, config: &PipelineConfig, rng: &mut StdRng) -> Pipeline {
         Self::try_run(kind, config, rng).unwrap_or_else(|e| panic!("pipeline failed: {e}"))
     }
 
@@ -286,16 +367,25 @@ impl Pipeline {
     /// to any unrecovered per-graph failures, and attaches the
     /// [`LabelReport`] to the returned pipeline.
     ///
+    /// With `checkpoint_dir` set, the run is **stage-resumable**: every
+    /// completed label is journaled and every `checkpoint_every`-th epoch
+    /// writes a [`crate::store::TrainCheckpoint`], so a killed run
+    /// relaunched with the same directory skips journaled labels, resumes
+    /// training from the last checkpointed epoch, and produces a final
+    /// artifact byte-identical to a never-interrupted run.
+    ///
     /// # Errors
     ///
     /// [`DatasetError::LabelingFailed`] when labeling left unrecovered
     /// failures under [`FailurePolicy::Halt`]; spec and checkpoint-journal
-    /// errors from [`Dataset::generate_checked`].
-    pub fn try_run<R: Rng + ?Sized>(
+    /// errors from [`Dataset::generate_checked`];
+    /// [`PipelineError::CheckpointMismatch`] when the directory holds a
+    /// valid training checkpoint from a different run.
+    pub fn try_run(
         kind: GnnKind,
         config: &PipelineConfig,
-        rng: &mut R,
-    ) -> Result<Pipeline, DatasetError> {
+        rng: &mut StdRng,
+    ) -> Result<Pipeline, PipelineError> {
         let (raw_dataset, label_report) = Dataset::generate_checked(
             &config.dataset,
             &config.labeling,
@@ -303,7 +393,7 @@ impl Pipeline {
             config.checkpoint_dir.as_deref(),
         )?;
         if config.failure_policy == FailurePolicy::Halt && !label_report.is_complete() {
-            return Err(DatasetError::LabelingFailed(label_report));
+            return Err(DatasetError::LabelingFailed(label_report).into());
         }
         Self::finish(kind, raw_dataset, config, label_report, rng)
     }
@@ -315,11 +405,11 @@ impl Pipeline {
     ///
     /// Panics if `config.test_size >= dataset.len()` or the artifact save
     /// fails — see [`Self::try_run_on_dataset`] for the non-panicking form.
-    pub fn run_on_dataset<R: Rng + ?Sized>(
+    pub fn run_on_dataset(
         kind: GnnKind,
         raw_dataset: Dataset,
         config: &PipelineConfig,
-        rng: &mut R,
+        rng: &mut StdRng,
     ) -> Pipeline {
         Self::try_run_on_dataset(kind, raw_dataset, config, rng)
             .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
@@ -334,12 +424,12 @@ impl Pipeline {
     /// [`DatasetError::SplitTooLarge`] when `config.test_size >=
     /// dataset.len()`; [`DatasetError::Io`] when saving to
     /// `config.artifact_path` fails.
-    pub fn try_run_on_dataset<R: Rng + ?Sized>(
+    pub fn try_run_on_dataset(
         kind: GnnKind,
         raw_dataset: Dataset,
         config: &PipelineConfig,
-        rng: &mut R,
-    ) -> Result<Pipeline, DatasetError> {
+        rng: &mut StdRng,
+    ) -> Result<Pipeline, PipelineError> {
         let report = LabelReport::clean(raw_dataset.len());
         Self::finish(kind, raw_dataset, config, report, rng)
     }
@@ -350,13 +440,25 @@ impl Pipeline {
     /// [`crate::store::RunArtifact`]. Saving happens *after* the real
     /// label report is attached so the artifact records what labeling
     /// actually did.
-    fn finish<R: Rng + ?Sized>(
+    ///
+    /// With `checkpoint_dir` set, training runs through
+    /// [`train::train_resumable`] with a [`crate::store::TrainCheckpoint`]
+    /// persisted at epoch boundaries. On restart the furthest completed
+    /// stage is detected and skipped: journaled labels replay for free
+    /// (upstream, in [`Dataset::resume_labeling`]), a fingerprint-validated
+    /// checkpoint resumes training mid-schedule (a `done` one skips it
+    /// entirely), and an artifact already holding this run's exact bytes is
+    /// left untouched. A checkpoint whose [`store::train_identity`] differs
+    /// is a different run and refuses typed; a torn or corrupted one falls
+    /// back to a fresh training start — the result is bit-identical either
+    /// way, only the work saved differs.
+    fn finish(
         kind: GnnKind,
         raw_dataset: Dataset,
         config: &PipelineConfig,
         label_report: LabelReport,
-        rng: &mut R,
-    ) -> Result<Pipeline, DatasetError> {
+        rng: &mut StdRng,
+    ) -> Result<Pipeline, PipelineError> {
         let (train_split, test_split) =
             raw_dataset.split(config.test_size, config.seed ^ 0x5f5f)?;
 
@@ -378,7 +480,64 @@ impl Pipeline {
 
         let model = GnnModel::new(kind, config.model.clone(), rng);
         let train_examples = to_examples(&train_dataset, &config.model);
-        let history = train::train(&model, &train_examples, &config.training, rng);
+        let history = match &config.checkpoint_dir {
+            Some(dir) if !train_examples.is_empty() => {
+                let dataset_fingerprint = store::fingerprint_graph_refs(
+                    raw_dataset.entries.iter().map(|e| &e.graph),
+                );
+                // The identity is taken at the train-start RNG position:
+                // every stage before this point replays deterministically
+                // from the master seed, so first run and resume compute the
+                // same value — and a checkpoint from any *other* run
+                // (different seed, config, dataset, or architecture) cannot.
+                let identity =
+                    store::train_identity(kind, config, dataset_fingerprint, rng.state());
+                let path = store::train_checkpoint_path(dir, kind);
+                let resume = match store::TrainCheckpoint::load(&path) {
+                    Ok(checkpoint) => {
+                        if checkpoint.identity != identity {
+                            return Err(PipelineError::CheckpointMismatch {
+                                path,
+                                expected: identity,
+                                found: checkpoint.identity,
+                            });
+                        }
+                        // Identity matches but the state is structurally
+                        // incompatible (a hand-edited file with recomputed
+                        // checksums): train from scratch rather than guess.
+                        match checkpoint.state.compatible_with(
+                            &model,
+                            &config.training,
+                            train_examples.len(),
+                        ) {
+                            Ok(()) => Some(checkpoint.state),
+                            Err(_) => None,
+                        }
+                    }
+                    // Missing, torn, or corrupted checkpoint: the previous
+                    // run never survived an epoch boundary — start fresh.
+                    Err(_) => None,
+                };
+                train::train_resumable(
+                    &model,
+                    &train_examples,
+                    &config.training,
+                    rng,
+                    resume,
+                    config.checkpoint_every.max(1),
+                    |state| {
+                        store::TrainCheckpoint {
+                            kind,
+                            identity,
+                            state: state.clone(),
+                        }
+                        .save(&path)
+                    },
+                )
+                .map_err(DatasetError::from)?
+            }
+            _ => train::train(&model, &train_examples, &config.training, rng),
+        };
         let test_examples = to_examples(&test_split, &config.model);
         let test_mse = train::evaluate(&model, &test_examples);
 
@@ -402,7 +561,16 @@ impl Pipeline {
             label_report,
         };
         if let Some(path) = &config.artifact_path {
-            pipeline.to_artifact(config).save(path)?;
+            let artifact = pipeline.to_artifact(config);
+            let mut bytes = artifact.to_json().to_pretty().into_bytes();
+            bytes.push(b'\n');
+            // Stage detection, final rung: a previous run killed *after*
+            // its save already published exactly these bytes — leave the
+            // file untouched instead of rewriting it.
+            match std::fs::read(path) {
+                Ok(existing) if existing == bytes => {}
+                _ => artifact.save(path).map_err(DatasetError::from)?,
+            }
         }
         Ok(pipeline)
     }

@@ -427,6 +427,48 @@ fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Flushes a directory so a rename inside it is durable. Some filesystems
+/// refuse to open a directory for writing; `sync_all` on a read handle is
+/// the portable spelling.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    fs::File::open(dir)?.sync_all()
+}
+
+/// The crash-safe write protocol every persisted file in this module uses:
+/// write `path.tmp`, fsync it, fire `failpoint`, rename over `path`, fsync
+/// the parent directory. A crash (or SIGKILL) at any instant leaves either
+/// the previous file or the new one on disk — the rename is the single
+/// commit point. Parent directories are created.
+fn write_atomic(path: &Path, bytes: &[u8], failpoint: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    drop(file);
+    // Between flush and rename: the widest window where a crash must leave
+    // the previous file untouched. `Stall` parks here so a chaos harness
+    // can SIGKILL into it deterministically.
+    if faults::fire_may_panic(failpoint).is_some() {
+        let _ = fs::remove_file(&tmp);
+        return Err(io::Error::other(format!("fault injected: {failpoint}")));
+    }
+    fs::rename(&tmp, path)?;
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => fsync_dir(parent),
+        _ => fsync_dir(Path::new(".")),
+    }
+}
+
 /// The distribution a model was trained on, recorded inside its artifact
 /// so a serving layer can tell in-distribution requests from
 /// out-of-envelope ones (§3.1: the paper trains on 2–15-node graphs;
@@ -806,22 +848,20 @@ impl RunArtifact {
     }
 
     /// Writes the artifact to `path` (pretty-printed, fsync'd; parent
-    /// directories are created).
+    /// directories are created) **atomically**: the bytes go to a `*.tmp`
+    /// sibling first and only a durable rename publishes them, so a crash
+    /// at any instant leaves either the previous artifact or the new one —
+    /// never a torn file.
     ///
     /// # Errors
     ///
-    /// Filesystem errors.
+    /// Filesystem errors, or an injected [`faults::ARTIFACT_SAVE`] failure
+    /// (fired between tmp-write and rename; the previous artifact
+    /// survives).
     pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                fs::create_dir_all(parent)?;
-            }
-        }
-        let mut file = fs::File::create(path)?;
-        file.write_all(self.to_json().to_pretty().as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_data()
+        let mut bytes = self.to_json().to_pretty().into_bytes();
+        bytes.push(b'\n');
+        write_atomic(path.as_ref(), &bytes, faults::ARTIFACT_SAVE)
     }
 
     /// Reads and fully validates an artifact from `path`.
@@ -866,12 +906,7 @@ impl RunArtifact {
 /// bins save all four architectures from one `--artifact` flag without
 /// overwriting.
 pub fn artifact_path_for_kind(base: &Path, kind: GnnKind) -> PathBuf {
-    let slug = match kind {
-        GnnKind::Gcn => "gcn",
-        GnnKind::Gat => "gat",
-        GnnKind::Gin => "gin",
-        GnnKind::Sage => "sage",
-    };
+    let slug = kind_slug(kind);
     match (base.file_stem(), base.extension()) {
         (Some(stem), Some(ext)) => base.with_file_name(format!(
             "{}.{slug}.{}",
@@ -882,6 +917,209 @@ pub fn artifact_path_for_kind(base: &Path, kind: GnnKind) -> PathBuf {
             "{}.{slug}",
             base.file_name().map(|n| n.to_string_lossy()).unwrap_or_default()
         )),
+    }
+}
+
+fn kind_slug(kind: GnnKind) -> &'static str {
+    match kind {
+        GnnKind::Gcn => "gcn",
+        GnnKind::Gat => "gat",
+        GnnKind::Gin => "gin",
+        GnnKind::Sage => "sage",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Training checkpoints
+// ---------------------------------------------------------------------------
+
+/// The `format` tag every training checkpoint carries.
+pub const TRAIN_CHECKPOINT_FORMAT: &str = "qaoa-gnn-train-checkpoint";
+
+/// Current training-checkpoint schema version.
+pub const TRAIN_CHECKPOINT_VERSION: u64 = 1;
+
+/// The checkpoint's section names, in serialization order.
+const TRAIN_CHECKPOINT_SECTIONS: [&str; 2] = ["meta", "state"];
+
+/// Where a run's training checkpoint for `kind` lives inside a checkpoint
+/// directory: `train.<slug>.ckpt.json`, one file per architecture so the
+/// experiment binaries can train all four in one directory.
+pub fn train_checkpoint_path(dir: &Path, kind: GnnKind) -> PathBuf {
+    dir.join(format!("train.{}.ckpt.json", kind_slug(kind)))
+}
+
+/// The result-affecting identity of a training run, used to bind a
+/// [`TrainCheckpoint`] to exactly one `(config, architecture, dataset, RNG
+/// position)` tuple. Operational knobs that cannot change results —
+/// checkpoint/artifact paths, checkpoint stride, worker-thread counts —
+/// are normalized out, so a run may resume with different parallelism or a
+/// relocated artifact path; anything else differing means the checkpoint
+/// belongs to another run and resuming would silently mix them.
+pub fn train_identity(
+    kind: GnnKind,
+    config: &PipelineConfig,
+    dataset_fingerprint: u64,
+    rng_state: [u64; 4],
+) -> u64 {
+    let mut normalized = config.clone();
+    normalized.checkpoint_dir = None;
+    normalized.artifact_path = None;
+    normalized.checkpoint_every = 0;
+    normalized.labeling.threads = 0;
+    normalized.labeling.sim_threads = 0;
+    let mut hash = fnv1a_bytes(normalized.to_json().to_compact().as_bytes());
+    let mut mix = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(fnv1a_bytes(kind_slug(kind).as_bytes()));
+    mix(dataset_fingerprint);
+    for word in rng_state {
+        mix(word);
+    }
+    hash
+}
+
+/// A mid-training snapshot as one self-describing, checksummed file: the
+/// architecture it belongs to, the [`train_identity`] binding it to its
+/// run, and the full [`gnn::train::TrainState`] (parameters, Adam moments,
+/// scheduler state, divergence-guard snapshot, epoch shuffle, RNG words,
+/// history). Written atomically after epoch boundaries so SIGKILL at any
+/// instant leaves a loadable checkpoint, and a relaunched run continues
+/// bit-identically to one that was never killed.
+///
+/// The on-disk layout mirrors [`RunArtifact`]:
+///
+/// ```text
+/// {
+///   "format": "qaoa-gnn-train-checkpoint",
+///   "version": 1,
+///   "sections": { "meta": {"kind": …, "identity": …}, "state": … },
+///   "checksums": { "<section>": <fnv1a of the section's compact JSON> }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// The architecture being trained.
+    pub kind: GnnKind,
+    /// [`train_identity`] of the run that wrote this checkpoint.
+    pub identity: u64,
+    /// The captured training-loop state.
+    pub state: gnn::train::TrainState,
+}
+
+impl TrainCheckpoint {
+    /// Builds the checkpoint's JSON tree, checksumming each section.
+    pub fn to_json(&self) -> Json {
+        let sections: Vec<(String, Json)> = vec![
+            (
+                "meta".to_string(),
+                Json::Obj(vec![
+                    ("kind".to_string(), self.kind.to_json()),
+                    ("identity".to_string(), Json::uint(self.identity)),
+                ]),
+            ),
+            ("state".to_string(), self.state.to_json()),
+        ];
+        let checksums: Vec<(String, Json)> = sections
+            .iter()
+            .map(|(name, value)| {
+                (
+                    name.clone(),
+                    Json::uint(fnv1a_bytes(value.to_compact().as_bytes())),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "format".to_string(),
+                Json::Str(TRAIN_CHECKPOINT_FORMAT.to_string()),
+            ),
+            ("version".to_string(), Json::uint(TRAIN_CHECKPOINT_VERSION)),
+            ("sections".to_string(), Json::Obj(sections)),
+            ("checksums".to_string(), Json::Obj(checksums)),
+        ])
+    }
+
+    /// Decodes and fully validates a checkpoint from its JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// See [`ArtifactError`]; checks run format → version → section
+    /// presence → checksums → section decode, so a torn, truncated, or
+    /// bit-flipped file fails typed, never by panic.
+    pub fn from_json(json: &Json) -> Result<Self, ArtifactError> {
+        let format = json
+            .get_opt("format")
+            .ok()
+            .flatten()
+            .and_then(|v| v.as_str().ok())
+            .unwrap_or("");
+        if format != TRAIN_CHECKPOINT_FORMAT {
+            return Err(ArtifactError::Format {
+                found: format.to_string(),
+            });
+        }
+        let version = json.get("version")?.as_u64()?;
+        if version != TRAIN_CHECKPOINT_VERSION {
+            return Err(ArtifactError::Version {
+                found: version,
+                supported: TRAIN_CHECKPOINT_VERSION,
+            });
+        }
+        let sections = json.get("sections")?;
+        let checksums = json.get("checksums")?;
+        let mut verified: Vec<&Json> = Vec::with_capacity(TRAIN_CHECKPOINT_SECTIONS.len());
+        for name in TRAIN_CHECKPOINT_SECTIONS {
+            let section = sections
+                .get_opt(name)?
+                .ok_or(ArtifactError::MissingSection(name))?;
+            let stored = checksums
+                .get_opt(name)?
+                .ok_or(ArtifactError::MissingSection(name))?
+                .as_u64()?;
+            let computed = fnv1a_bytes(section.to_compact().as_bytes());
+            if computed != stored {
+                return Err(ArtifactError::ChecksumMismatch {
+                    section: name,
+                    stored,
+                    computed,
+                });
+            }
+            verified.push(section);
+        }
+        Ok(TrainCheckpoint {
+            kind: GnnKind::from_json(verified[0].get("kind")?)?,
+            identity: verified[0].get("identity")?.as_u64()?,
+            state: gnn::train::TrainState::from_json(verified[1])?,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically (tmp + fsync + rename +
+    /// parent-dir fsync): a crash mid-write leaves the previous checkpoint,
+    /// a crash after the rename leaves this one — never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or an injected [`faults::CHECKPOINT_WRITE`]
+    /// failure (fired between tmp-write and rename).
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut bytes = self.to_json().to_pretty().into_bytes();
+        bytes.push(b'\n');
+        write_atomic(path.as_ref(), &bytes, faults::CHECKPOINT_WRITE)
+    }
+
+    /// Reads and fully validates a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`]: missing file, malformed JSON, wrong format or
+    /// version, failed checksum, or an undecodable section.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<TrainCheckpoint, ArtifactError> {
+        let text = fs::read_to_string(path)?;
+        let json = Json::parse(&text)?;
+        Self::from_json(&json)
     }
 }
 

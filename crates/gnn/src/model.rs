@@ -315,15 +315,45 @@ impl GnnModel {
     /// Panics if the snapshot's parameter count or shapes do not match
     /// this model (snapshots are only valid for the model they came from).
     pub fn restore(&self, snapshot: &[Matrix]) {
-        assert_eq!(
-            snapshot.len(),
-            self.params.len(),
-            "snapshot parameter count mismatch"
-        );
+        if let Err(e) = self.try_restore(snapshot) {
+            match e {
+                crate::WeightError::ParamCount { .. } => {
+                    panic!("snapshot parameter count mismatch: {e}")
+                }
+                _ => panic!("snapshot shape mismatch: {e}"),
+            }
+        }
+    }
+
+    /// Non-panicking [`Self::restore`]: validates the snapshot against this
+    /// model's architecture before touching any parameter, so a foreign or
+    /// corrupted snapshot (e.g. from a stale training checkpoint) leaves the
+    /// model untouched and surfaces as a typed [`crate::WeightError`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::WeightError::ParamCount`] if the matrix count differs,
+    /// [`crate::WeightError::ShapeMismatch`] on the first shape conflict.
+    pub fn try_restore(&self, snapshot: &[Matrix]) -> Result<(), crate::WeightError> {
+        if snapshot.len() != self.params.len() {
+            return Err(crate::WeightError::ParamCount {
+                expected: self.params.len(),
+                found: snapshot.len(),
+            });
+        }
+        for (index, (param, value)) in self.params.iter().zip(snapshot).enumerate() {
+            if param.shape() != value.shape() {
+                return Err(crate::WeightError::ShapeMismatch {
+                    index,
+                    expected: param.shape(),
+                    found: value.shape(),
+                });
+            }
+        }
         for (param, value) in self.params.iter().zip(snapshot) {
-            assert_eq!(param.shape(), value.shape(), "snapshot shape mismatch");
             param.set_value(value.clone());
         }
+        Ok(())
     }
 
     /// Broadcast-adds a `1 × d` bias over every row of `h`.
@@ -659,6 +689,27 @@ mod tests {
         let gcn = GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng);
         let gin = GnnModel::new(GnnKind::Gin, ModelConfig::default(), &mut rng);
         gcn.restore(&gin.snapshot());
+    }
+
+    #[test]
+    fn try_restore_rejects_without_mutating() {
+        let g = Graph::complete(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(102);
+        let gcn = GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng);
+        let gin = GnnModel::new(GnnKind::Gin, ModelConfig::default(), &mut rng);
+        let before = gcn.predict(&g);
+        match gcn.try_restore(&gin.snapshot()) {
+            Err(crate::WeightError::ParamCount { .. }) => {}
+            other => panic!("expected ParamCount error, got {other:?}"),
+        }
+        // Same count, wrong shape: a snapshot with one matrix transposed.
+        let mut warped = gcn.snapshot();
+        warped[0] = warped[0].transpose();
+        match gcn.try_restore(&warped) {
+            Err(crate::WeightError::ShapeMismatch { index: 0, .. }) => {}
+            other => panic!("expected ShapeMismatch at 0, got {other:?}"),
+        }
+        assert_eq!(gcn.predict(&g), before, "failed restore must not mutate");
     }
 
     #[test]

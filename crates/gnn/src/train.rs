@@ -4,14 +4,15 @@
 //! MSE loss, Adam, and the paper's ReduceLROnPlateau schedule monitoring the
 //! training loss. Models train for 100 epochs before evaluation.
 
+use qrand::rngs::StdRng;
 use qrand::seq::SliceRandom;
 use qrand::Rng;
 
-use tensor::optim::{Adam, Optimizer};
-use tensor::sched::ReduceLrOnPlateau;
+use tensor::optim::{Adam, AdamState, Optimizer};
+use tensor::sched::{PlateauState, ReduceLrOnPlateau};
 use tensor::Matrix;
 
-use crate::{GnnModel, GraphContext};
+use crate::{GnnModel, GraphContext, WeightError};
 
 /// One training example: a graph context and its normalized `(γ, β)` label.
 #[derive(Debug, Clone)]
@@ -128,40 +129,20 @@ pub fn train<R: Rng + ?Sized>(
     let mut best: (f64, Vec<Matrix>) = (f64::INFINITY, model.snapshot());
 
     model.tape().set_training(true);
-    'epochs: for epoch in 0..config.epochs {
-        if config.shuffle {
-            order.shuffle(rng);
-        }
-        let lr = optimizer.learning_rate();
-        let mut total_loss = 0.0;
-        for &i in &order {
-            let example = &examples[i];
-            model.tape().reset();
-            let out = model.forward(&example.context, rng);
-            let target = Matrix::row_vector(&example.target);
-            let loss = out.mse(&target);
-            let loss_value = loss.value()[(0, 0)];
-            if !loss_value.is_finite() {
-                history.diverged = Some(DivergenceEvent {
-                    epoch,
-                    loss: loss_value,
-                });
-                break 'epochs;
-            }
-            total_loss += loss_value;
-            model.tape().backward(&loss);
-            optimizer.step(model.parameters());
-        }
-        model.tape().reset();
-        let train_loss = total_loss / examples.len() as f64;
-        scheduler.step(train_loss, &mut optimizer);
-        history.epochs.push(EpochStats {
+    for epoch in 0..config.epochs {
+        if run_epoch(
+            model,
+            examples,
+            config,
+            &mut order,
+            &mut optimizer,
+            &mut scheduler,
+            rng,
             epoch,
-            train_loss,
-            learning_rate: lr,
-        });
-        if train_loss < best.0 {
-            best = (train_loss, model.snapshot());
+            &mut history,
+            &mut best,
+        ) {
+            break;
         }
     }
     model.tape().reset();
@@ -170,6 +151,340 @@ pub fn train<R: Rng + ?Sized>(
     }
     model.tape().set_training(false);
     history
+}
+
+/// One epoch of the §4.1 loop, shared verbatim between [`train`] and
+/// [`train_resumable`] so the two are bit-identical by construction: same
+/// shuffle draw, same forward/backward order, same optimizer and scheduler
+/// arithmetic. Returns `true` when the epoch diverged (recorded in
+/// `history`); the caller stops training.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch<R: Rng + ?Sized>(
+    model: &GnnModel,
+    examples: &[Example],
+    config: &TrainConfig,
+    order: &mut [usize],
+    optimizer: &mut Adam,
+    scheduler: &mut ReduceLrOnPlateau,
+    rng: &mut R,
+    epoch: usize,
+    history: &mut TrainHistory,
+    best: &mut (f64, Vec<Matrix>),
+) -> bool {
+    if config.shuffle {
+        order.shuffle(rng);
+    }
+    let lr = optimizer.learning_rate();
+    let mut total_loss = 0.0;
+    for &i in order.iter() {
+        let example = &examples[i];
+        model.tape().reset();
+        let out = model.forward(&example.context, rng);
+        let target = Matrix::row_vector(&example.target);
+        let loss = out.mse(&target);
+        let loss_value = loss.value()[(0, 0)];
+        if !loss_value.is_finite() {
+            history.diverged = Some(DivergenceEvent {
+                epoch,
+                loss: loss_value,
+            });
+            return true;
+        }
+        total_loss += loss_value;
+        model.tape().backward(&loss);
+        optimizer.step(model.parameters());
+    }
+    model.tape().reset();
+    let train_loss = total_loss / examples.len() as f64;
+    scheduler.step(train_loss, optimizer);
+    history.epochs.push(EpochStats {
+        epoch,
+        train_loss,
+        learning_rate: lr,
+    });
+    if train_loss < best.0 {
+        *best = (train_loss, model.snapshot());
+    }
+    false
+}
+
+/// Everything the training loop needs to continue from an epoch boundary:
+/// the live parameters, both Adam moments and the step counter, the plateau
+/// scheduler's streak, the divergence-guard best-finite snapshot, the exact
+/// RNG stream position, the epoch permutation (the shuffle mutates it in
+/// place across epochs), and the history so far.
+///
+/// Captured by [`train_resumable`] after each completed epoch and handed to
+/// its `on_checkpoint` sink; feeding the state back as `resume` continues
+/// the run bit-identically to one that was never interrupted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainState {
+    /// Next epoch to run (= completed epoch count). Equals `config.epochs`
+    /// in the final state.
+    pub next_epoch: usize,
+    /// True once training finished (all epochs done, or diverged and the
+    /// best weights restored); resuming a done state is a no-op replay.
+    pub done: bool,
+    /// Live model parameters at the epoch boundary.
+    pub params: Vec<Matrix>,
+    /// Adam moments, step count, and (scheduler-reduced) learning rate.
+    pub optimizer: AdamState,
+    /// ReduceLROnPlateau best metric and bad-epoch streak.
+    pub scheduler: PlateauState,
+    /// Best finite train loss so far (`+∞` before the first epoch).
+    pub best_loss: f64,
+    /// Parameters at the best-loss epoch (the divergence-guard snapshot).
+    pub best_params: Vec<Matrix>,
+    /// Epoch example order; the per-epoch shuffle permutes the previous
+    /// epoch's order, so the permutation itself is training state.
+    pub order: Vec<usize>,
+    /// xoshiro256** state words of the training RNG.
+    pub rng_state: [u64; 4],
+    /// Per-epoch stats (and any divergence event) accumulated so far.
+    pub history: TrainHistory,
+}
+
+impl TrainState {
+    /// Validates this state against a model and config before resuming:
+    /// parameter/best/moment counts and shapes must match the architecture,
+    /// the epoch cursor must lie inside the schedule, the permutation must
+    /// cover the example range, and the RNG state must be legal. A foreign
+    /// or corrupted checkpoint fails here — typed, without touching the
+    /// model — so callers can fall back to a fresh start.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightError::ParamCount`] / [`WeightError::ShapeMismatch`] for
+    /// architecture conflicts, [`WeightError::BadConfig`] for everything
+    /// else (epoch out of range, bad permutation, zero RNG state, …).
+    pub fn compatible_with(
+        &self,
+        model: &GnnModel,
+        config: &TrainConfig,
+        num_examples: usize,
+    ) -> Result<(), WeightError> {
+        let shapes: Vec<(usize, usize)> =
+            model.parameters().iter().map(|p| p.shape()).collect();
+        for set in [&self.params, &self.best_params] {
+            if set.len() != shapes.len() {
+                return Err(WeightError::ParamCount {
+                    expected: shapes.len(),
+                    found: set.len(),
+                });
+            }
+            for (index, (value, &expected)) in set.iter().zip(&shapes).enumerate() {
+                if value.shape() != expected {
+                    return Err(WeightError::ShapeMismatch {
+                        index,
+                        expected,
+                        found: value.shape(),
+                    });
+                }
+            }
+        }
+        for moments in [&self.optimizer.m, &self.optimizer.v] {
+            for &(index, ref value) in moments {
+                let Some(&expected) = shapes.get(index) else {
+                    return Err(WeightError::BadConfig(format!(
+                        "optimizer moment for parameter {index}, model has {}",
+                        shapes.len()
+                    )));
+                };
+                if value.shape() != expected {
+                    return Err(WeightError::ShapeMismatch {
+                        index,
+                        expected,
+                        found: value.shape(),
+                    });
+                }
+            }
+        }
+        if self.next_epoch > config.epochs {
+            return Err(WeightError::BadConfig(format!(
+                "checkpoint is at epoch {} but the schedule has only {}",
+                self.next_epoch, config.epochs
+            )));
+        }
+        if !self.done && self.next_epoch != self.history.epochs.len() {
+            return Err(WeightError::BadConfig(format!(
+                "checkpoint epoch cursor {} disagrees with {} recorded epochs",
+                self.next_epoch,
+                self.history.epochs.len()
+            )));
+        }
+        let mut seen = vec![false; num_examples];
+        if self.order.len() != num_examples {
+            return Err(WeightError::BadConfig(format!(
+                "checkpoint permutation covers {} examples, dataset has {num_examples}",
+                self.order.len()
+            )));
+        }
+        for &i in &self.order {
+            if i >= num_examples || seen[i] {
+                return Err(WeightError::BadConfig(
+                    "checkpoint permutation is not a permutation".into(),
+                ));
+            }
+            seen[i] = true;
+        }
+        if self.rng_state.iter().all(|&w| w == 0) {
+            return Err(WeightError::BadConfig(
+                "checkpoint RNG state is all-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Captures the loop state at an epoch boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn capture(
+        next_epoch: usize,
+        done: bool,
+        model: &GnnModel,
+        optimizer: &Adam,
+        scheduler: &ReduceLrOnPlateau,
+        best: &(f64, Vec<Matrix>),
+        order: &[usize],
+        rng: &StdRng,
+        history: &TrainHistory,
+    ) -> TrainState {
+        TrainState {
+            next_epoch,
+            done,
+            params: model.snapshot(),
+            optimizer: optimizer.export_state(),
+            scheduler: scheduler.export_state(),
+            best_loss: best.0,
+            best_params: best.1.clone(),
+            order: order.to_vec(),
+            rng_state: rng.state(),
+            history: history.clone(),
+        }
+    }
+}
+
+/// [`train`] with epoch-granular checkpointing and kill-and-resume.
+///
+/// Runs the identical loop (same RNG draws, same floating-point op order),
+/// but after every `checkpoint_every`-th completed epoch — and always once
+/// more when training finishes — hands a [`TrainState`] to `on_checkpoint`.
+/// Passing a state captured there back as `resume` continues the run from
+/// that boundary; the concatenation of the two runs is bit-identical to an
+/// uninterrupted [`train`] call with the same model, examples, config, and
+/// RNG. Resuming a `done` state replays nothing: it restores the final
+/// parameters and RNG position and returns the recorded history.
+///
+/// The caller owns durability: `on_checkpoint` is where a
+/// `core::store::TrainCheckpoint` gets written. Its error aborts training
+/// (the model keeps its current weights).
+///
+/// # Errors
+///
+/// Returns `InvalidData` if `resume` fails [`TrainState::compatible_with`]
+/// (the model is left untouched), or whatever `on_checkpoint` returns.
+///
+/// # Panics
+///
+/// Panics if `examples` is empty or `checkpoint_every == 0`.
+pub fn train_resumable(
+    model: &GnnModel,
+    examples: &[Example],
+    config: &TrainConfig,
+    rng: &mut StdRng,
+    resume: Option<TrainState>,
+    checkpoint_every: usize,
+    mut on_checkpoint: impl FnMut(&TrainState) -> std::io::Result<()>,
+) -> std::io::Result<TrainHistory> {
+    assert!(!examples.is_empty(), "training set must be non-empty");
+    assert!(checkpoint_every >= 1, "checkpoint stride must be positive");
+    let invalid = |e: WeightError| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("incompatible training checkpoint: {e}"),
+        )
+    };
+
+    let mut optimizer;
+    let mut scheduler = ReduceLrOnPlateau::paper_default();
+    let mut order: Vec<usize>;
+    let mut history;
+    let mut best: (f64, Vec<Matrix>);
+    let start_epoch;
+    match resume {
+        Some(state) => {
+            state
+                .compatible_with(model, config, examples.len())
+                .map_err(invalid)?;
+            if state.done {
+                model.try_restore(&state.params).map_err(invalid)?;
+                *rng = StdRng::from_state(state.rng_state);
+                return Ok(state.history);
+            }
+            model.try_restore(&state.params).map_err(invalid)?;
+            optimizer = Adam::from_state(&state.optimizer);
+            scheduler.import_state(&state.scheduler);
+            order = state.order;
+            history = state.history;
+            best = (state.best_loss, state.best_params);
+            *rng = StdRng::from_state(state.rng_state);
+            start_epoch = state.next_epoch;
+        }
+        None => {
+            optimizer = Adam::new(config.learning_rate);
+            order = (0..examples.len()).collect();
+            history = TrainHistory::default();
+            best = (f64::INFINITY, model.snapshot());
+            start_epoch = 0;
+        }
+    }
+
+    model.tape().set_training(true);
+    for epoch in start_epoch..config.epochs {
+        let diverged = run_epoch(
+            model,
+            examples,
+            config,
+            &mut order,
+            &mut optimizer,
+            &mut scheduler,
+            rng,
+            epoch,
+            &mut history,
+            &mut best,
+        );
+        if diverged {
+            break;
+        }
+        let completed = epoch + 1;
+        if completed < config.epochs && completed % checkpoint_every == 0 {
+            let state = TrainState::capture(
+                completed, false, model, &optimizer, &scheduler, &best, &order, rng, &history,
+            );
+            if let Err(e) = on_checkpoint(&state) {
+                model.tape().reset();
+                model.tape().set_training(false);
+                return Err(e);
+            }
+        }
+    }
+    model.tape().reset();
+    if history.diverged.is_some() {
+        model.restore(&best.1);
+    }
+    model.tape().set_training(false);
+    let final_state = TrainState::capture(
+        config.epochs,
+        true,
+        model,
+        &optimizer,
+        &scheduler,
+        &best,
+        &order,
+        rng,
+        &history,
+    );
+    on_checkpoint(&final_state)?;
+    Ok(history)
 }
 
 /// Mean MSE of the model's (normalized) predictions over a labeled set,
@@ -411,5 +726,232 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(105);
         let model = GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng);
         let _ = train(&model, &[], &TrainConfig::default(), &mut rng);
+    }
+
+    /// Bits of every parameter, for exact model comparison.
+    fn param_bits(model: &GnnModel) -> Vec<u64> {
+        model
+            .snapshot()
+            .iter()
+            .flat_map(|m| {
+                let mut bits = Vec::with_capacity(m.rows() * m.cols());
+                for r in 0..m.rows() {
+                    for c in 0..m.cols() {
+                        bits.push(m[(r, c)].to_bits());
+                    }
+                }
+                bits
+            })
+            .collect()
+    }
+
+    /// With no resume state and a discarding sink, `train_resumable` is the
+    /// same computation as `train`: identical history and identical final
+    /// parameter bits (dropout on, so the RNG stream is exercised too).
+    #[test]
+    fn resumable_with_no_interruption_matches_train() {
+        let data = toy_dataset();
+        let config = TrainConfig::quick(8);
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng)
+        };
+
+        let model_a = mk(200);
+        let mut rng_a = StdRng::seed_from_u64(201);
+        let history_a = train(&model_a, &data, &config, &mut rng_a);
+
+        let model_b = mk(200);
+        let mut rng_b = StdRng::seed_from_u64(201);
+        let history_b =
+            train_resumable(&model_b, &data, &config, &mut rng_b, None, 1, |_| Ok(()))
+                .unwrap();
+
+        assert_eq!(history_a, history_b);
+        assert_eq!(param_bits(&model_a), param_bits(&model_b));
+        assert_eq!(rng_a, rng_b, "RNG must end at the same stream position");
+    }
+
+    /// Kill-and-resume from *every* epoch boundary reproduces the
+    /// uninterrupted run bit-for-bit: history, parameters, and the RNG
+    /// position all match.
+    #[test]
+    fn resume_from_any_epoch_boundary_is_bit_identical() {
+        let data = toy_dataset();
+        let config = TrainConfig::quick(6);
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            GnnModel::new(GnnKind::Gat, ModelConfig::default(), &mut rng)
+        };
+
+        // Control: uninterrupted, collecting every checkpoint state.
+        let control = mk(210);
+        let mut control_rng = StdRng::seed_from_u64(211);
+        let mut states: Vec<TrainState> = Vec::new();
+        let control_history = train_resumable(
+            &control,
+            &data,
+            &config,
+            &mut control_rng,
+            None,
+            1,
+            |s| {
+                states.push(s.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        // 5 mid-run boundaries (epochs 1..=5) plus the final done state.
+        assert_eq!(states.len(), config.epochs);
+        assert!(states.last().unwrap().done);
+        let control_bits = param_bits(&control);
+
+        for state in &states {
+            let resumed = mk(210);
+            // Deliberately wrong seed: resume must overwrite the stream.
+            let mut rng = StdRng::seed_from_u64(999);
+            let history = train_resumable(
+                &resumed,
+                &data,
+                &config,
+                &mut rng,
+                Some(state.clone()),
+                1,
+                |_| Ok(()),
+            )
+            .unwrap();
+            assert_eq!(
+                history, control_history,
+                "resume from epoch {} diverged",
+                state.next_epoch
+            );
+            assert_eq!(
+                param_bits(&resumed),
+                control_bits,
+                "parameters diverged resuming from epoch {}",
+                state.next_epoch
+            );
+            assert_eq!(rng, control_rng, "RNG diverged from epoch {}", state.next_epoch);
+        }
+    }
+
+    /// The checkpoint stride is honored: with `checkpoint_every = 2` only
+    /// even epoch boundaries (plus the final state) reach the sink.
+    #[test]
+    fn checkpoint_stride_skips_boundaries() {
+        let data = toy_dataset();
+        let config = TrainConfig::quick(5);
+        let mut rng = StdRng::seed_from_u64(220);
+        let model = GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng);
+        let mut cursors = Vec::new();
+        let _ = train_resumable(&model, &data, &config, &mut rng, None, 2, |s| {
+            cursors.push((s.next_epoch, s.done));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(cursors, vec![(2, false), (4, false), (5, true)]);
+    }
+
+    /// A foreign state (different architecture) is rejected with a typed
+    /// error before any parameter is touched.
+    #[test]
+    fn incompatible_resume_state_is_rejected_cleanly() {
+        let data = toy_dataset();
+        let config = TrainConfig::quick(3);
+        let mut rng = StdRng::seed_from_u64(230);
+        let gin = GnnModel::new(GnnKind::Gin, ModelConfig::default(), &mut rng);
+        let mut state_sink = None;
+        let _ = train_resumable(&gin, &data, &config, &mut rng, None, 1, |s| {
+            state_sink = Some(s.clone());
+            Ok(())
+        })
+        .unwrap();
+        let foreign = state_sink.unwrap();
+
+        let mut rng = StdRng::seed_from_u64(231);
+        let gcn = GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng);
+        let before = param_bits(&gcn);
+        let err = train_resumable(
+            &gcn,
+            &data,
+            &config,
+            &mut rng,
+            Some(foreign.clone()),
+            1,
+            |_| Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(param_bits(&gcn), before, "rejection must not mutate");
+
+        // compatible_with also flags a too-short schedule and a truncated
+        // permutation.
+        assert!(foreign
+            .compatible_with(&gin, &TrainConfig::quick(2), data.len())
+            .is_err());
+        assert!(foreign
+            .compatible_with(&gin, &config, data.len() - 1)
+            .is_err());
+        assert!(foreign.compatible_with(&gin, &config, data.len()).is_ok());
+    }
+
+    /// Resuming a `done` state replays nothing and restores everything.
+    #[test]
+    fn resuming_done_state_restores_and_returns() {
+        let data = toy_dataset();
+        let config = TrainConfig::quick(4);
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            GnnModel::new(GnnKind::Sage, ModelConfig::default(), &mut rng)
+        };
+        let control = mk(240);
+        let mut control_rng = StdRng::seed_from_u64(241);
+        let mut last = None;
+        let history = train_resumable(&control, &data, &config, &mut control_rng, None, 1, |s| {
+            last = Some(s.clone());
+            Ok(())
+        })
+        .unwrap();
+        let done = last.unwrap();
+        assert!(done.done);
+
+        let resumed = mk(240);
+        let mut rng = StdRng::seed_from_u64(999);
+        let replayed = train_resumable(
+            &resumed,
+            &data,
+            &config,
+            &mut rng,
+            Some(done),
+            1,
+            |_| panic!("done state must not re-checkpoint"),
+        )
+        .unwrap();
+        assert_eq!(replayed, history);
+        assert_eq!(param_bits(&resumed), param_bits(&control));
+        assert_eq!(rng, control_rng);
+    }
+
+    /// A failing checkpoint sink aborts training with its error and leaves
+    /// the model usable (training flag off, tape clean).
+    #[test]
+    fn checkpoint_sink_error_aborts_training() {
+        let data = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(250);
+        let model = GnnModel::new(GnnKind::Gcn, ModelConfig::default(), &mut rng);
+        let err = train_resumable(
+            &model,
+            &data,
+            &TrainConfig::quick(4),
+            &mut rng,
+            None,
+            1,
+            |_| Err(std::io::Error::other("disk full")),
+        )
+        .unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+        let g = Graph::cycle(6).unwrap();
+        let (gamma, beta) = model.predict(&g);
+        assert!(gamma.is_finite() && beta.is_finite());
     }
 }

@@ -76,6 +76,25 @@ impl ReduceLrOnPlateau {
         Self::new(PlateauMode::Min, 0.2, 5, 1e-5)
     }
 
+    /// Snapshots the mutable scheduler state (best metric seen and the
+    /// current bad-epoch streak) for checkpointing. Hyperparameters are not
+    /// included — the restoring side reconstructs the scheduler from config
+    /// and grafts this state on via [`Self::import_state`].
+    pub fn export_state(&self) -> PlateauState {
+        PlateauState {
+            best: self.best,
+            bad_epochs: self.bad_epochs,
+        }
+    }
+
+    /// Restores state captured by [`Self::export_state`]. After import the
+    /// scheduler steps bit-identically to the one the state came from
+    /// (given identical hyperparameters).
+    pub fn import_state(&mut self, state: &PlateauState) {
+        self.best = state.best;
+        self.bad_epochs = state.bad_epochs;
+    }
+
     /// Reports one epoch's metric; reduces the optimizer's learning rate if
     /// the plateau condition fires. Returns `true` when a reduction
     /// happened.
@@ -100,6 +119,16 @@ impl ReduceLrOnPlateau {
         }
         false
     }
+}
+
+/// The mutable state of a [`ReduceLrOnPlateau`] scheduler, detached from its
+/// hyperparameters for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateauState {
+    /// Best metric observed so far (`None` before the first step).
+    pub best: Option<f64>,
+    /// Consecutive epochs without improvement.
+    pub bad_epochs: usize,
 }
 
 /// Step decay: multiply the learning rate by `gamma` every `step_size`
@@ -272,5 +301,38 @@ mod tests {
     #[should_panic(expected = "factor")]
     fn bad_factor_rejected() {
         let _ = ReduceLrOnPlateau::new(PlateauMode::Min, 1.5, 5, 0.0);
+    }
+
+    /// Export mid-sequence, import into a fresh scheduler, and drive both
+    /// through the same metric tail: decisions must match exactly.
+    #[test]
+    fn plateau_state_round_trip_preserves_decisions() {
+        let metrics = [1.0, 0.9, 0.9, 0.9, 0.95, 0.9, 0.9, 0.9, 0.9, 0.85];
+        let mut opt_a = Sgd::new(1.0);
+        let mut sched_a = ReduceLrOnPlateau::new(PlateauMode::Min, 0.5, 2, 1e-5);
+        for &m in &metrics[..4] {
+            sched_a.step(m, &mut opt_a);
+        }
+        let state = sched_a.export_state();
+
+        let mut opt_b = Sgd::new(opt_a.learning_rate());
+        let mut sched_b = ReduceLrOnPlateau::new(PlateauMode::Min, 0.5, 2, 1e-5);
+        sched_b.import_state(&state);
+        assert_eq!(sched_b.export_state(), state);
+
+        for &m in &metrics[4..] {
+            let ra = sched_a.step(m, &mut opt_a);
+            let rb = sched_b.step(m, &mut opt_b);
+            assert_eq!(ra, rb, "reduction decision diverged at metric {m}");
+            assert_eq!(opt_a.learning_rate().to_bits(), opt_b.learning_rate().to_bits());
+        }
+    }
+
+    #[test]
+    fn plateau_fresh_state_is_empty() {
+        let sched = ReduceLrOnPlateau::paper_default();
+        let state = sched.export_state();
+        assert_eq!(state.best, None);
+        assert_eq!(state.bad_epochs, 0);
     }
 }

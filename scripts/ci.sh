@@ -20,7 +20,7 @@ cargo test -q --offline | tee "$test_log"
 echo "==> test-count floor"
 # The suite must never silently shrink: the floor is the passing-test
 # count at the time of the last change to it. Raise it when adding tests.
-TEST_FLOOR=692
+TEST_FLOOR=712
 total=$(grep -oE '[0-9]+ passed' "$test_log" | awk '{s+=$1} END {print s+0}')
 rm -f "$test_log"
 if [ "$total" -lt "$TEST_FLOOR" ]; then
@@ -97,5 +97,14 @@ echo "==> chaos smoke (seeded fault schedule: kills, breaker trips, bit-identica
 # state, and a bit-identical outcome digest across both runs.
 cargo run --release --offline -q -p qaoa-gnn-bench --bin chaos_soak -- --smoke
 echo "OK: self-healing loop survives scripted chaos deterministically"
+
+echo "==> crash smoke (SIGKILL the pipeline at scripted wall-phases, resume, diff bits)"
+# CI-sized kill-and-resume ladder: a control pipeline runs to completion,
+# then a fresh run is SIGKILLed mid-label, mid-epoch, mid-checkpoint-write
+# and mid-artifact-save (stall failpoints hold each protocol window open),
+# relaunched after every kill, and the final artifact must be byte-identical
+# to the control. The bin also reports per-epoch checkpoint overhead.
+cargo run --release --offline -q -p qaoa-gnn-bench --bin crash_resume -- --smoke
+echo "OK: killed-and-resumed runs reproduce the control artifact byte for byte"
 
 echo "All checks passed."
